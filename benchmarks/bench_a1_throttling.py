@@ -1,0 +1,22 @@
+"""A1 — ablation: throttling on/off.
+
+Design claim: without throttling, scans placed together drift apart over
+time and sharing decays; throttling keeps groups tight, so the full
+mechanism beats sharing-without-throttling.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import ablation_throttling
+
+
+def test_a1_throttling(benchmark, settings):
+    result = once(benchmark, lambda: ablation_throttling(settings))
+    print()
+    print("A1 — throttling ablation")
+    print(result.render())
+    makespans = result.makespans()
+    # Any sharing beats base; full mechanism is at least as good as
+    # sharing without throttling (small tolerance for scheduling noise).
+    assert makespans["full"] < makespans["base"]
+    assert makespans["no-throttle"] < makespans["base"]
+    assert makespans["full"] <= makespans["no-throttle"] * 1.05

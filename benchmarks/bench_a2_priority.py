@@ -1,0 +1,20 @@
+"""A2 — ablation: adaptive page prioritization on/off.
+
+Design claim: leader-HIGH/trailer-LOW release priorities protect exactly
+the pages group followers are about to fix, so the full mechanism should
+match or beat sharing with fixed priorities.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import ablation_priority
+
+
+def test_a2_priority(benchmark, settings):
+    result = once(benchmark, lambda: ablation_priority(settings))
+    print()
+    print("A2 — page-prioritization ablation")
+    print(result.render())
+    makespans = result.makespans()
+    assert makespans["full"] < makespans["base"]
+    assert makespans["no-priority"] < makespans["base"]
+    assert makespans["full"] <= makespans["no-priority"] * 1.05

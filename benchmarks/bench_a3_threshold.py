@@ -1,0 +1,20 @@
+"""A3 — ablation: leader–trailer drift threshold sweep.
+
+The prototype throttles once the gap exceeds ~two prefetch extents.  The
+sweep shows the trade-off: very tight thresholds over-throttle, very
+loose ones let groups drift apart; every setting still beats base.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import ablation_threshold, e4_throughput
+
+
+def test_a3_threshold(benchmark, settings):
+    result = once(benchmark, lambda: ablation_threshold(settings))
+    print()
+    print("A3 — drift-threshold sweep (paper default: 2 extents)")
+    print(result.render())
+    makespans = list(result.makespans().values())
+    # The sweep stays within a sane band: no setting catastrophically
+    # worse than the best one.
+    assert max(makespans) < 2.0 * min(makespans)

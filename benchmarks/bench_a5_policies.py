@@ -1,0 +1,23 @@
+"""A5 — related-work baseline: smarter victim policies vs scan sharing.
+
+The related-work section argues that general-purpose replacement
+policies (LRU-K, 2Q, ARC, …) cannot exploit the *ordered* access
+pattern of concurrent scans the way explicit coordination can.  This
+bench runs the same workload under each policy without sharing, then
+under the full mechanism.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import ablation_policies
+
+
+def test_a5_policies(benchmark, settings):
+    result = once(benchmark, lambda: ablation_policies(settings))
+    print()
+    print("A5 — victim-policy comparison (no policy matches coordination)")
+    print(result.render())
+    makespans = result.makespans()
+    sharing = makespans["priority-lru + sharing"]
+    baselines = {k: v for k, v in makespans.items() if k != "priority-lru + sharing"}
+    # The coordinated mechanism beats every pure caching policy.
+    assert sharing < min(baselines.values())

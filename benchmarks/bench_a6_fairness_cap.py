@@ -1,0 +1,21 @@
+"""A6 — ablation: the accumulated-slowdown fairness cap.
+
+The prototype stops throttling a scan once inserted waits exceed 80 % of
+its estimated scan time.  cap=0 disables throttling entirely; cap=1
+allows unbounded delay.  The sweep shows the design point is not
+fragile: all caps land near each other, well ahead of no-throttling.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import ablation_fairness_cap
+
+
+def test_a6_fairness_cap(benchmark, settings):
+    result = once(benchmark, lambda: ablation_fairness_cap(settings))
+    print()
+    print("A6 — fairness-cap sweep (paper default: 80 %)")
+    print(result.render())
+    makespans = result.makespans()
+    best = min(makespans.values())
+    # The paper's 80 % point must be near the sweep's best.
+    assert makespans["cap 80%"] <= best * 1.10

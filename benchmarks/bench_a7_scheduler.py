@@ -1,0 +1,24 @@
+"""A7 — device-level elevator scheduling vs scan coordination.
+
+A LOOK elevator shortens seek travel at the device, but it cannot
+remove the duplicated read volume that uncoordinated concurrent scans
+generate — that requires coordination above the device.  This bench
+runs the same workload under FIFO and elevator service orders, with and
+without the sharing manager.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import ablation_disk_scheduler
+
+
+def test_a7_scheduler(benchmark, settings):
+    result = once(benchmark, lambda: ablation_disk_scheduler(settings))
+    print()
+    print("A7 — disk scheduler vs scan coordination")
+    print(result.render())
+    makespans = result.makespans()
+    # Sharing beats the elevator-only configuration: the elevator cannot
+    # reduce read volume.
+    assert makespans["fifo + sharing"] < makespans["elevator"]
+    # The two levers are complementary.
+    assert makespans["elevator + sharing"] <= makespans["fifo + sharing"] * 1.05

@@ -1,0 +1,16 @@
+"""E1 — single-stream overhead of the sharing machinery.
+
+Paper claim: the observed overhead in single-stream runs "was well below
+1 % of the end-to-end time".
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import e1_overhead
+
+
+def test_e1_overhead(benchmark, settings):
+    result = once(benchmark, lambda: e1_overhead(settings))
+    print()
+    print("E1 — single-stream overhead (paper: < 1 %)")
+    print(result.render())
+    assert result.overhead_percent < 2.0

@@ -1,0 +1,21 @@
+"""E3 — three staggered Q1 streams (CPU-intensive; Figure-16 analog).
+
+Paper claims: I/O wait and idle are negligible next to user time, yet
+even here bufferpool sharing improves each run noticeably.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import e3_staggered_q1
+
+
+def test_e3_staggered_q1(benchmark, settings):
+    result = once(benchmark, lambda: e3_staggered_q1(settings))
+    print()
+    print("E3 — 3 staggered Q1 runs (paper: CPU-bound, still gains)")
+    print(result.render())
+    # Q1 is CPU-bound: user share dominates iowait in the base run.
+    base_cpu = result.comparison.base.cpu
+    assert base_cpu.user > base_cpu.iowait
+    # Sharing must not regress any run.
+    for base, shared in zip(result.per_run_base, result.per_run_shared):
+        assert shared <= base * 1.05

@@ -1,0 +1,31 @@
+"""E4 — multi-stream TPC-H throughput run (Table 1 analog).
+
+Paper (Table 1, 5-stream TPC-H): end-to-end gain 21 %, average disk
+read gain 33 %, average disk seek gain 34 %.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import e4_throughput
+
+
+def test_e4_throughput(benchmark, settings):
+    result = once(benchmark, lambda: e4_throughput(settings))
+    print()
+    print("E4 — Table 1 analog (paper: 21% / 33% / 34%)")
+    print(result.render())
+    comparison = result.comparison
+    print(
+        f"Base: makespan {comparison.base.makespan:.2f}s, "
+        f"{comparison.base.pages_read} pages, {comparison.base.seeks} seeks"
+    )
+    print(
+        f"SS:   makespan {comparison.shared.makespan:.2f}s, "
+        f"{comparison.shared.pages_read} pages, {comparison.shared.seeks} seeks "
+        f"({comparison.shared.scans_joined} scans joined, "
+        f"{comparison.shared.throttle_waits} throttle waits)"
+    )
+    # Shape assertions: double-digit end-to-end gain, reads and seeks
+    # reduced by a similar order as the paper's ~third.
+    assert result.end_to_end_gain > 10.0
+    assert result.disk_read_gain > 10.0
+    assert result.disk_seek_gain > 5.0

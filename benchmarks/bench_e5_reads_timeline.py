@@ -1,0 +1,24 @@
+"""E5 — disk read volume over time (Figure-17 analog).
+
+Paper claim: the SS curve shows the same workload-induced jitter but
+lower read volume in most time buckets, and the run ends sooner.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import e5_reads_timeline
+
+
+def test_e5_reads_timeline(benchmark, settings):
+    result = once(benchmark, lambda: e5_reads_timeline(settings))
+    print()
+    print("E5 — Figure 17 analog: pages read per time bucket")
+    print(result.render())
+    assert result.shared_total_lower()
+    # SS must be lower in a clear majority of overlapping buckets.
+    paired = [
+        (base, shared)
+        for base, shared in zip(result.base_series, result.shared_series)
+        if base > 0 or shared > 0
+    ]
+    lower = sum(1 for base, shared in paired if shared <= base)
+    assert lower >= 0.5 * len(paired)

@@ -1,0 +1,17 @@
+"""E6 — disk seeks over time (Figure-18 analog).
+
+Paper claim: with synchronized scans the disk seeks much less often in
+most time intervals, because grouped scans demand pages in an order the
+disk can serve with fewer head movements.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import e6_seeks_timeline
+
+
+def test_e6_seeks_timeline(benchmark, settings):
+    result = once(benchmark, lambda: e6_seeks_timeline(settings))
+    print()
+    print("E6 — Figure 18 analog: seeks per time bucket")
+    print(result.render())
+    assert result.shared_total_lower()

@@ -1,0 +1,18 @@
+"""E7 — per-stream gains (Figure-19 analog).
+
+Paper claim: "each stream gained similarly from the improved bufferpool
+sharing" — the mechanism is fair across streams.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import e7_per_stream
+
+
+def test_e7_per_stream(benchmark, settings):
+    result = once(benchmark, lambda: e7_per_stream(settings))
+    print()
+    print("E7 — Figure 19 analog: per-stream elapsed times")
+    print(result.render())
+    gains = result.gains()
+    # Every stream gains; no stream is sacrificed for the others.
+    assert all(gain > 0 for gain in gains.values()), gains

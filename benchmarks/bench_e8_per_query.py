@@ -1,0 +1,23 @@
+"""E8 — per-query gains (Figure-20 analog).
+
+Paper claims: gains vary by query but "no query shows a negative
+effect", and scan-heavy queries (e.g. Q21 with its two lineitem scans)
+benefit most.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import e8_per_query
+
+
+def test_e8_per_query(benchmark, settings):
+    result = once(benchmark, lambda: e8_per_query(settings))
+    print()
+    print("E8 — Figure 20 analog: mean per-query elapsed times")
+    print(result.render())
+    gains = result.gains()
+    # The paper's fairness claim, with a small tolerance for timing noise
+    # at reduced scale.
+    regressions = result.regressions(tolerance_percent=10.0)
+    assert not regressions, f"queries regressed: {regressions}"
+    # Scan-heavy queries must benefit clearly.
+    assert max(gains.values()) > 15.0

@@ -1,0 +1,31 @@
+"""E9 — stream scaling.
+
+Paper (conclusion of Table 1's discussion): "The reduced disk
+utilization may be used to scale to a larger number of streams with the
+same hardware."  This bench sweeps the stream count and measures
+queries-per-second throughput for Base and SS.
+"""
+
+from benchmarks.conftest import once
+from repro.experiments import e9_stream_scaling
+
+STREAM_COUNTS = (2, 4, 6)
+
+
+def test_e9_stream_scaling(benchmark, settings):
+    result = once(
+        benchmark, lambda: e9_stream_scaling(settings, stream_counts=STREAM_COUNTS)
+    )
+    print()
+    print("E9 — throughput vs concurrency (paper: savings buy extra streams)")
+    print(result.render())
+    # SS sustains higher throughput at every concurrency level...
+    for n_streams in STREAM_COUNTS:
+        assert result.throughput(n_streams, shared=True) > result.throughput(
+            n_streams, shared=False
+        )
+    # ...and SS at the highest tested concurrency beats Base at the
+    # lowest — the "more streams on the same hardware" claim.
+    assert result.throughput(max(STREAM_COUNTS), shared=True) > result.throughput(
+        min(STREAM_COUNTS), shared=False
+    )

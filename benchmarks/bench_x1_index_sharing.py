@@ -1,0 +1,92 @@
+"""X1 — future-work extension: index-scan (SISCAN) sharing.
+
+The target paper names index-scan sharing as future work; its authors'
+follow-up (VLDB 2007) reports >50 % per-query gains for staggered
+I/O-bound index scans.  This bench staggers several SISCANs over a
+scattered MDC-style block index and compares against plain IXSCANs.
+"""
+
+from repro.core.config import SharingConfig
+from repro.engine.database import Database, SystemConfig
+from repro.extensions.index_sharing import (
+    BlockIndex,
+    IndexScan,
+    IndexScanSharingManager,
+    SharedIndexScan,
+)
+from repro.metrics.report import format_table, percent_gain
+from repro.workloads.synthetic import simple_table_schema
+
+from benchmarks.conftest import once
+
+N_SCANS = 3
+TABLE_PAGES = 1024
+POOL_PAGES = 96
+BLOCK_PAGES = 16
+
+
+def run_mode(shared: bool):
+    db = Database(SystemConfig(
+        pool_pages=POOL_PAGES,
+        sharing=SharingConfig(enabled=shared),
+    ))
+    db.create_table(simple_table_schema("fact"), n_pages=TABLE_PAGES,
+                    extent_size=BLOCK_PAGES)
+    db.open()
+    index = BlockIndex(db.catalog.table("fact"), block_size_pages=BLOCK_PAGES)
+    ism = IndexScanSharingManager(
+        db.sim, pages_per_entry=BLOCK_PAGES, pool_capacity=POOL_PAGES,
+        config=db.config.sharing,
+    )
+
+    def scan_process(sim, delay):
+        yield sim.timeout(delay)
+        if shared:
+            scan = SharedIndexScan(db, index, ism, 0, index.n_entries - 1)
+        else:
+            scan = IndexScan(db, index, 0, index.n_entries - 1)
+        result = yield from scan.run()
+        return result
+
+    # Stagger each scan to ~an eighth of a solo scan's runtime.
+    solo_estimate = TABLE_PAGES * db.config.geometry.transfer_time(1)
+    procs = [
+        db.sim.spawn(scan_process(db.sim, i * solo_estimate / 8))
+        for i in range(N_SCANS)
+    ]
+    db.sim.run()
+    results = [p.completion.value for p in procs]
+    return db, results
+
+
+def experiment():
+    base_db, base_results = run_mode(shared=False)
+    shared_db, shared_results = run_mode(shared=True)
+    return base_db, base_results, shared_db, shared_results
+
+
+def test_x1_index_sharing(benchmark):
+    base_db, base_results, shared_db, shared_results = once(benchmark, experiment)
+    print()
+    print("X1 — staggered index scans over a scattered block index")
+    rows = []
+    for i, (base, shared) in enumerate(zip(base_results, shared_results)):
+        rows.append([
+            f"scan {i}", base.elapsed, shared.elapsed,
+            percent_gain(base.elapsed, shared.elapsed),
+        ])
+    rows.append([
+        "pages read", base_db.disk.stats.pages_read,
+        shared_db.disk.stats.pages_read,
+        percent_gain(base_db.disk.stats.pages_read,
+                     shared_db.disk.stats.pages_read),
+    ])
+    rows.append([
+        "disk seeks", base_db.disk.stats.seeks, shared_db.disk.stats.seeks,
+        percent_gain(float(base_db.disk.stats.seeks),
+                     float(shared_db.disk.stats.seeks)),
+    ])
+    print(format_table(["metric", "IXSCAN", "SISCAN", "gain %"], rows))
+    # Sharing must cut physical reads and end-to-end time materially.
+    assert shared_db.disk.stats.pages_read < base_db.disk.stats.pages_read
+    assert shared_db.sim.now < base_db.sim.now

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints it.  ``REPRO_BENCH_SCALE`` (default 0.25) and
+``REPRO_BENCH_STREAMS`` (default 5) trade fidelity for runtime; scale 1.0
+reproduces the headline configuration (lineitem 1600 pages, bufferpool
+≈ 5 % of the database) at a few minutes per benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_STREAMS = int(os.environ.get("REPRO_BENCH_STREAMS", "5"))
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Benchmark-wide experiment settings."""
+    return ExperimentSettings(scale=BENCH_SCALE, n_streams=BENCH_STREAMS)
+
+
+def once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Using the library on your own schema (not TPC-H).
+
+Builds a small telemetry warehouse from scratch — devices, and a large
+``readings`` fact table clustered by timestamp — then runs a mixed
+dashboard workload: several widgets refreshing over the most recent
+data window, plus one nightly full-table aggregation.  Shows the public
+API end to end: schemas, expressions, query specs, streams, and the
+sharing manager's statistics.
+
+Run:  python examples/custom_database.py
+"""
+
+from repro import (
+    AggSpec,
+    ColumnSpec,
+    Database,
+    QuerySpec,
+    ScanStep,
+    SharingConfig,
+    SystemConfig,
+    TableSchema,
+    col,
+    lit,
+    run_workload,
+)
+from repro.metrics.report import format_table, percent_gain
+
+READINGS_PAGES = 800
+HOT_WINDOW = (800.0, 1000.0)  # the most recent fifth of the data
+
+
+def build_database(sharing_enabled: bool) -> Database:
+    readings = TableSchema(
+        name="readings",
+        rows_per_page=120,
+        columns=(
+            ColumnSpec("reading_id", "sequence"),
+            ColumnSpec("device_id", "int_uniform", 1, 5_000),
+            ColumnSpec("temperature", "float_uniform", -20.0, 90.0),
+            ColumnSpec("humidity", "float_uniform", 0.0, 100.0),
+            ColumnSpec("status", "choice", categories=("ok", "warn", "fail")),
+            ColumnSpec("ts", "clustered", 0.0, 1000.0),
+        ),
+    )
+    devices = TableSchema(
+        name="devices",
+        rows_per_page=120,
+        columns=(
+            ColumnSpec("device_id", "sequence"),
+            ColumnSpec("site", "int_uniform", 1, 40),
+            ColumnSpec("battery", "float_uniform", 0.0, 100.0),
+        ),
+    )
+    db = Database(SystemConfig(
+        pool_pages=72,
+        sharing=SharingConfig(enabled=sharing_enabled),
+    ))
+    db.create_table(readings, n_pages=READINGS_PAGES)
+    db.create_table(devices, n_pages=48)
+    return db.open()
+
+
+def widget(name: str, lo: float, hi: float) -> QuerySpec:
+    """A dashboard widget: aggregate a recent time window."""
+    return QuerySpec(
+        name=name,
+        steps=(
+            ScanStep(
+                table="readings",
+                cluster_range=(lo, hi),
+                predicate=col("status").ne(lit("fail")),
+                aggregates=(
+                    AggSpec("avg_temp", "avg", col("temperature")),
+                    AggSpec("max_hum", "max", col("humidity")),
+                    AggSpec("n", "count"),
+                ),
+                label="readings",
+            ),
+        ),
+    )
+
+
+def nightly_rollup() -> QuerySpec:
+    """The heavy job: full-table grouped aggregation."""
+    return QuerySpec(
+        name="nightly-rollup",
+        steps=(
+            ScanStep(
+                table="readings",
+                group_by=("status",),
+                aggregates=(
+                    AggSpec("avg_temp", "avg", col("temperature")),
+                    AggSpec("n", "count"),
+                ),
+                extra_units_per_row=4.0,
+                label="readings",
+            ),
+            ScanStep(
+                table="devices",
+                aggregates=(AggSpec("low_battery", "min", col("battery")),),
+                label="devices",
+            ),
+        ),
+    )
+
+
+def run(sharing_enabled: bool):
+    db = build_database(sharing_enabled)
+    lo, hi = HOT_WINDOW
+    streams = [
+        [widget("widget-temps", lo, hi), widget("widget-temps-2", lo + 40, hi)],
+        [widget("widget-humidity", lo + 20, hi), nightly_rollup()],
+        [nightly_rollup(), widget("widget-recent", lo + 60, hi)],
+        [widget("widget-sites", lo, hi - 20), widget("widget-alerts", lo, hi)],
+    ]
+    result = run_workload(db, streams, stagger=0.05)
+    return db, result
+
+
+def main():
+    _, base = run(sharing_enabled=False)
+    db, shared = run(sharing_enabled=True)
+
+    print("Telemetry dashboard: 4 concurrent streams over one fact table")
+    print()
+    print(format_table(
+        ["metric", "Base", "SS", "gain %"],
+        [
+            ["end-to-end (s)", base.makespan, shared.makespan,
+             percent_gain(base.makespan, shared.makespan)],
+            ["pages read", base.pages_read, shared.pages_read,
+             percent_gain(base.pages_read, shared.pages_read)],
+            ["disk seeks", base.seeks, shared.seeks,
+             percent_gain(float(base.seeks), float(shared.seeks))],
+        ],
+    ))
+    print()
+    sample = shared.streams[0].queries[0]
+    print(f"Sample widget result ({sample.name}): {sample.values['readings']}")
+    stats = db.sharing.stats
+    print(f"Sharing: {stats.scans_joined_ongoing} joins, "
+          f"{stats.throttle_waits} throttle waits, "
+          f"{stats.regroups} regroupings.")
+
+
+if __name__ == "__main__":
+    main()

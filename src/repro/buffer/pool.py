@@ -1,0 +1,316 @@
+"""The bufferpool: fix/unfix with prefetch, in-flight merging, priorities.
+
+Scans interact with the pool exactly the way the paper's pseudo-code
+does::
+
+    frame = yield from pool.fix(key, prefetch=extent_keys)
+    ... process the page ...
+    pool.unfix(key, priority=ism.pr())
+
+Two properties matter for reproducing the paper's numbers:
+
+* **In-flight merging** — if scan B fixes a page for which scan A's read
+  is already on the disk queue, B waits on A's I/O instead of issuing a
+  second one.  This is how close-together scans turn into hits rather
+  than duplicated physical reads.
+* **Prefetch** — a miss reads the whole surrounding run of non-resident
+  pages (one prefetch extent) in a single disk request, so seek counts
+  reflect extents, not pages, matching the DB2 prototype's sequential
+  prefetch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence
+
+from repro.buffer.page import Frame, PageKey, Priority
+from repro.buffer.replacement import ReplacementPolicy, make_policy
+from repro.buffer.stats import BufferStats
+from repro.disk.device import Disk
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+AddressOf = Callable[[PageKey], int]
+
+
+class BufferPoolError(RuntimeError):
+    """Raised on pin-count misuse or pool overcommit."""
+
+
+class BufferPool:
+    """A fixed-capacity page cache over a simulated disk."""
+
+    #: Safety bound for the fix retry loop (a re-fixed page being evicted
+    #: between I/O completion and pinning is rare; more than a handful of
+    #: retries indicates a livelock-sized pool).
+    MAX_FIX_RETRIES = 16
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk: Disk,
+        capacity: int,
+        address_of: AddressOf,
+        policy: Optional[ReplacementPolicy] = None,
+        name: str = "bufferpool",
+    ):
+        if capacity < 4:
+            raise BufferPoolError(f"bufferpool capacity must be >= 4, got {capacity}")
+        self.sim = sim
+        self.disk = disk
+        self.capacity = capacity
+        self.address_of = address_of
+        # Explicit None check: policies may define __len__ and an empty
+        # policy must not be mistaken for "use the default".
+        self.policy = policy if policy is not None else make_policy(
+            "priority-lru", capacity
+        )
+        self.name = name
+        self.stats = BufferStats()
+        self._frames: Dict[PageKey, Frame] = {}
+        self._inflight: Dict[PageKey, Event] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_count(self) -> int:
+        """Number of pages currently resident."""
+        return len(self._frames)
+
+    @property
+    def inflight_count(self) -> int:
+        """Number of pages with a disk read outstanding."""
+        return len(self._inflight)
+
+    def is_resident(self, key: PageKey) -> bool:
+        """Whether the page is currently in the pool."""
+        return key in self._frames
+
+    def frame_of(self, key: PageKey) -> Optional[Frame]:
+        """The resident frame for ``key``, if any."""
+        return self._frames.get(key)
+
+    def resident_keys(self) -> List[PageKey]:
+        """Snapshot of resident page keys (for tests and metrics)."""
+        return list(self._frames)
+
+    # ------------------------------------------------------------------
+    # Fix / unfix
+    # ------------------------------------------------------------------
+
+    def fix(
+        self, key: PageKey, prefetch: Optional[Sequence[PageKey]] = None
+    ) -> Generator[Event, object, Frame]:
+        """Pin ``key`` into the pool, reading from disk if necessary.
+
+        This is a simulation generator: drive it with ``yield from`` inside
+        a process.  ``prefetch`` is an optional run of keys (must contain
+        ``key``, contiguous in disk address) that a miss is allowed to read
+        in one request.
+        """
+        self.stats.logical_reads += 1
+        # Each fix is classified (hit / miss / in-flight wait) by the FIRST
+        # resolution path it takes, so the accounting identity
+        # ``logical = hits + misses + inflight_waits`` always holds; rare
+        # eviction races that force another round count as fix_retries.
+        classified = False
+        for attempt in range(self.MAX_FIX_RETRIES):
+            if attempt > 0:
+                self.stats.fix_retries += 1
+            frame = self._frames.get(key)
+            if frame is not None:
+                frame.pin_count += 1
+                frame.last_used_at = self.sim.now
+                frame.access_count += 1
+                self.policy.on_hit(key)
+                if not classified:
+                    self.stats.hits += 1
+                return frame
+
+            pending = self._inflight.get(key)
+            if pending is not None:
+                if not classified:
+                    self.stats.inflight_waits += 1
+                    classified = True
+                yield pending
+            else:
+                if not classified:
+                    self.stats.misses += 1
+                    classified = True
+                yield from self._read_run(key, prefetch)
+
+            frame = self._frames.get(key)
+            if frame is not None:
+                frame.pin_count += 1
+                frame.last_used_at = self.sim.now
+                frame.access_count += 1
+                return frame
+            # Evicted between I/O completion and our resumption; retry.
+        raise BufferPoolError(
+            f"page {key} evicted {self.MAX_FIX_RETRIES} times before it could be "
+            f"pinned; pool of {self.capacity} pages is too small for the pin load"
+        )
+
+    def unfix(self, key: PageKey, priority: Priority = Priority.NORMAL) -> None:
+        """Release one pin on ``key`` with a replacement-priority hint."""
+        frame = self._frames.get(key)
+        if frame is None:
+            raise BufferPoolError(f"unfix of non-resident page {key}")
+        if frame.pin_count <= 0:
+            raise BufferPoolError(f"unfix of unpinned page {key}")
+        frame.pin_count -= 1
+        frame.priority = priority
+        self.policy.on_release(key, priority)
+
+    # The paper calls this operation "release page with priority p".
+    release = unfix
+
+    def mark_dirty(self, key: PageKey) -> None:
+        """Flag a pinned page as modified (write back before eviction)."""
+        frame = self._frames.get(key)
+        if frame is None or not frame.pinned:
+            raise BufferPoolError(f"mark_dirty requires a pinned resident page, got {key}")
+        frame.dirty = True
+
+    # ------------------------------------------------------------------
+    # Miss path
+    # ------------------------------------------------------------------
+
+    def _read_run(
+        self, key: PageKey, prefetch: Optional[Sequence[PageKey]]
+    ) -> Generator[Event, object, None]:
+        while True:
+            if key in self._frames:
+                return  # became resident while we waited for room
+            pending = self._inflight.get(key)
+            if pending is not None:
+                yield pending
+                return
+            run = self._plan_run(key, prefetch)
+            # Reserve room: frames + inflight + new run must fit.
+            needed = len(self._frames) + len(self._inflight) + len(run) - self.capacity
+            if needed <= 0:
+                break
+            freed = yield from self._evict(needed)
+            if freed >= needed:
+                break
+            # Could not make room for the whole prefetch run; fall back to
+            # reading just the demanded page.
+            run = [key]
+            needed = len(self._frames) + len(self._inflight) + 1 - self.capacity
+            if needed <= 0:
+                break
+            freed = yield from self._evict(needed)
+            if freed >= needed:
+                break
+            if self._inflight:
+                # Every frame is pinned or in flight: wait for any
+                # outstanding read to land, then re-plan.
+                yield next(iter(self._inflight.values()))
+                continue
+            raise BufferPoolError(
+                f"bufferpool {self.name} overcommitted: all "
+                f"{self.capacity} pages pinned"
+            )
+        completion = Event(self.sim)
+        for run_key in run:
+            self._inflight[run_key] = completion
+        self.stats.physical_requests += 1
+        self.stats.physical_pages_read += len(run)
+        if len(run) > 1:
+            self.stats.prefetched_pages += len(run) - 1
+        read_done = self.disk.read(self.address_of(run[0]), len(run))
+        read_done.add_callback(lambda _ev: self._admit_run(run, completion))
+        yield completion
+
+    def _admit_run(self, run: List[PageKey], completion: Event) -> None:
+        for run_key in run:
+            self._inflight.pop(run_key, None)
+            if run_key in self._frames:
+                continue
+            self._frames[run_key] = Frame(
+                key=run_key,
+                admitted_at=self.sim.now,
+                last_used_at=self.sim.now,
+            )
+            self.policy.on_admit(run_key)
+        completion.succeed(run)
+
+    def _plan_run(
+        self, key: PageKey, prefetch: Optional[Sequence[PageKey]]
+    ) -> List[PageKey]:
+        """Choose the contiguous run of absent pages to read for a miss."""
+        if not prefetch:
+            return [key]
+        candidates = list(prefetch)
+        if key not in candidates:
+            raise BufferPoolError(f"prefetch run must contain the demanded page {key}")
+        # Keep only pages that actually need reading.
+        segments = self._absent_segments(candidates)
+        for segment in segments:
+            if key in segment:
+                return segment
+        # The demanded page became resident while planning — read just it;
+        # the caller's retry loop will then hit.
+        return [key]
+
+    def _absent_segments(self, candidates: Iterable[PageKey]) -> List[List[PageKey]]:
+        """Split candidates into address-contiguous runs of absent pages."""
+        segments: List[List[PageKey]] = []
+        current: List[PageKey] = []
+        prev_addr: Optional[int] = None
+        for candidate in candidates:
+            absent = candidate not in self._frames and candidate not in self._inflight
+            addr = self.address_of(candidate)
+            contiguous = prev_addr is not None and addr == prev_addr + 1
+            if absent and current and contiguous:
+                current.append(candidate)
+            elif absent:
+                if current:
+                    segments.append(current)
+                current = [candidate]
+            else:
+                if current:
+                    segments.append(current)
+                current = []
+            prev_addr = addr if absent else None
+        if current:
+            segments.append(current)
+        return segments
+
+    def _evict(self, count: int) -> Generator[Event, object, int]:
+        """Evict up to ``count`` pages; returns how many were freed."""
+        freed = 0
+        while freed < count:
+            victim_key = self.policy.choose_victim(self._evictable)
+            if victim_key is None:
+                break
+            frame = self._frames[victim_key]
+            if frame.dirty:
+                # Pin during writeback so a concurrent fix cannot race the
+                # page out from under the write.
+                frame.pin_count += 1
+                self.stats.writebacks += 1
+                yield self.disk.write(self.address_of(victim_key), 1)
+                frame.pin_count -= 1
+                frame.dirty = False
+                if frame.pinned:
+                    # Someone fixed it while we wrote; it is no longer a victim.
+                    continue
+            del self._frames[victim_key]
+            self.policy.on_evict(victim_key)
+            self.stats.evictions += 1
+            freed += 1
+        return freed
+
+    def _evictable(self, key: PageKey) -> bool:
+        frame = self._frames.get(key)
+        return frame is not None and not frame.pinned
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BufferPool {self.name} {len(self._frames)}/{self.capacity} resident, "
+            f"{len(self._inflight)} in flight>"
+        )

@@ -1,0 +1,85 @@
+"""Victim-selection policies and their registry."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.buffer.replacement.arc import ArcPolicy
+from repro.buffer.replacement.base import ReplacementPolicy
+from repro.buffer.replacement.clock import ClockPolicy
+from repro.buffer.replacement.lfu import LfuPolicy
+from repro.buffer.replacement.lru import FifoPolicy, LruPolicy, MruPolicy
+from repro.buffer.replacement.lirs import LirsPolicy
+from repro.buffer.replacement.lrfu import LrfuPolicy
+from repro.buffer.replacement.lru_k import LruKPolicy
+from repro.buffer.replacement.priority_lru import PriorityLruPolicy
+from repro.buffer.replacement.two_q import TwoQPolicy
+
+_POLICY_NAMES = (
+    "priority-lru",
+    "lru",
+    "mru",
+    "fifo",
+    "clock",
+    "lru-k",
+    "2q",
+    "lfu",
+    "lrfu",
+    "lirs",
+    "arc",
+)
+
+
+def make_policy(name: str, capacity: Optional[int] = None) -> ReplacementPolicy:
+    """Construct a replacement policy by registry name.
+
+    ``capacity`` is required for policies that size internal queues from
+    the pool size (2Q, ARC) and ignored by the rest.
+    """
+    normalized = name.lower()
+    if normalized == "priority-lru":
+        return PriorityLruPolicy()
+    if normalized == "lru":
+        return LruPolicy()
+    if normalized == "mru":
+        return MruPolicy()
+    if normalized == "fifo":
+        return FifoPolicy()
+    if normalized == "clock":
+        return ClockPolicy()
+    if normalized in ("lru-k", "lru2", "lru-2"):
+        return LruKPolicy(k=2)
+    if normalized == "2q":
+        if capacity is None:
+            raise ValueError("2Q policy requires the pool capacity")
+        return TwoQPolicy(capacity)
+    if normalized == "lfu":
+        return LfuPolicy()
+    if normalized == "lrfu":
+        return LrfuPolicy()
+    if normalized == "lirs":
+        if capacity is None:
+            raise ValueError("LIRS policy requires the pool capacity")
+        return LirsPolicy(capacity)
+    if normalized == "arc":
+        if capacity is None:
+            raise ValueError("ARC policy requires the pool capacity")
+        return ArcPolicy(capacity)
+    raise ValueError(f"unknown replacement policy {name!r}; known: {_POLICY_NAMES}")
+
+
+__all__ = [
+    "ArcPolicy",
+    "ClockPolicy",
+    "FifoPolicy",
+    "LfuPolicy",
+    "LirsPolicy",
+    "LrfuPolicy",
+    "LruKPolicy",
+    "LruPolicy",
+    "MruPolicy",
+    "PriorityLruPolicy",
+    "ReplacementPolicy",
+    "TwoQPolicy",
+    "make_policy",
+]

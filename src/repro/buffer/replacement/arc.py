@@ -1,0 +1,107 @@
+"""ARC replacement (Megiddo & Modha, FAST 2003).
+
+Adaptive Replacement Cache keeps two resident LRU lists — T1 (seen once
+recently) and T2 (seen at least twice) — plus ghost lists B1/B2 of
+recently evicted identities.  A hit in B1 grows the target size ``p`` of
+T1; a hit in B2 shrinks it, letting the cache continuously tune itself
+between recency and frequency.
+
+This implementation adapts the textbook algorithm to the pool's
+policy interface: the pool owns residency and pinning, so ARC here only
+ranks victims (preferring T1 when |T1| > p) and maintains its lists on the
+admit/hit/evict notifications it receives.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.buffer.page import PageKey
+from repro.buffer.replacement.base import EvictablePredicate, ReplacementPolicy
+
+
+class ArcPolicy(ReplacementPolicy):
+    """Adaptive Replacement Cache victim ranking."""
+
+    name = "arc"
+
+    def __init__(self, capacity: int):
+        if capacity < 2:
+            raise ValueError(f"ARC needs capacity >= 2, got {capacity}")
+        self.capacity = capacity
+        self.p = 0.0  # target size of T1, adapted on ghost hits
+        self._t1: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._t2: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._b1: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._b2: "OrderedDict[PageKey, None]" = OrderedDict()
+
+    def on_admit(self, key: PageKey) -> None:
+        if key in self._b1:
+            # Ghost hit in B1: recency is winning; grow T1's target.
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self.p = min(float(self.capacity), self.p + delta)
+            del self._b1[key]
+            self._promote_t2(key)
+        elif key in self._b2:
+            # Ghost hit in B2: frequency is winning; shrink T1's target.
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self.p = max(0.0, self.p - delta)
+            del self._b2[key]
+            self._promote_t2(key)
+        else:
+            self._t1[key] = None
+            self._t1.move_to_end(key)
+        self._trim_ghosts()
+
+    def on_hit(self, key: PageKey) -> None:
+        if key in self._t1:
+            del self._t1[key]
+            self._promote_t2(key)
+        elif key in self._t2:
+            self._t2.move_to_end(key)
+
+    def choose_victim(self, evictable: EvictablePredicate) -> Optional[PageKey]:
+        prefer_t1 = len(self._t1) >= 1 and len(self._t1) > self.p
+        first, second = (self._t1, self._t2) if prefer_t1 else (self._t2, self._t1)
+        for queue in (first, second):
+            for key in queue:
+                if evictable(key):
+                    return key
+        return None
+
+    def on_evict(self, key: PageKey) -> None:
+        if key in self._t1:
+            del self._t1[key]
+            self._b1[key] = None
+            self._b1.move_to_end(key)
+        elif key in self._t2:
+            del self._t2[key]
+            self._b2[key] = None
+            self._b2.move_to_end(key)
+        self._trim_ghosts()
+
+    def _promote_t2(self, key: PageKey) -> None:
+        self._t2[key] = None
+        self._t2.move_to_end(key)
+
+    def _trim_ghosts(self) -> None:
+        # Standard ARC bounds: |T1|+|B1| <= c and total directory <= 2c.
+        while len(self._t1) + len(self._b1) > self.capacity and self._b1:
+            self._b1.popitem(last=False)
+        while (
+            len(self._t1) + len(self._t2) + len(self._b1) + len(self._b2)
+            > 2 * self.capacity
+            and self._b2
+        ):
+            self._b2.popitem(last=False)
+
+    def list_sizes(self) -> dict:
+        """Sizes of T1/T2/B1/B2 plus the adaptation target (for tests)."""
+        return {
+            "t1": len(self._t1),
+            "t2": len(self._t2),
+            "b1": len(self._b1),
+            "b2": len(self._b2),
+            "p": self.p,
+        }

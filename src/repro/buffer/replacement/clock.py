@@ -1,0 +1,55 @@
+"""CLOCK (second-chance) replacement."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.buffer.page import PageKey
+from repro.buffer.replacement.base import EvictablePredicate, ReplacementPolicy
+
+
+class ClockPolicy(ReplacementPolicy):
+    """Second-chance: a circular sweep clears reference bits until it
+    finds an unreferenced, evictable page."""
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._ring: List[PageKey] = []
+        self._ref: Dict[PageKey, bool] = {}
+        self._hand = 0
+
+    def on_admit(self, key: PageKey) -> None:
+        self._ring.append(key)
+        self._ref[key] = True
+
+    def on_hit(self, key: PageKey) -> None:
+        if key in self._ref:
+            self._ref[key] = True
+
+    def choose_victim(self, evictable: EvictablePredicate) -> Optional[PageKey]:
+        if not self._ring:
+            return None
+        # Two full sweeps guarantee termination: the first may only clear
+        # reference bits, the second must find any evictable page.
+        for _ in range(2 * len(self._ring)):
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            key = self._ring[self._hand]
+            if evictable(key):
+                if self._ref.get(key, False):
+                    self._ref[key] = False
+                else:
+                    return key
+            self._hand += 1
+        return None
+
+    def on_evict(self, key: PageKey) -> None:
+        if key in self._ref:
+            del self._ref[key]
+            index = self._ring.index(key)
+            self._ring.pop(index)
+            if index < self._hand:
+                self._hand -= 1
+            if self._hand >= len(self._ring):
+                self._hand = 0

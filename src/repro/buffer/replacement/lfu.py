@@ -1,0 +1,44 @@
+"""LFU replacement (frequency-based, Robinson & Devarakonda 1990)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.buffer.page import PageKey
+from repro.buffer.replacement.base import EvictablePredicate, ReplacementPolicy
+
+
+class LfuPolicy(ReplacementPolicy):
+    """Evict the least frequently used page; ties broken least recently."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        # key -> (access_count, last_touch_logical_time)
+        self._stats: Dict[PageKey, Tuple[int, int]] = {}
+        self._clock = 0
+
+    def _touch(self, key: PageKey) -> None:
+        self._clock += 1
+        count, _ = self._stats.get(key, (0, 0))
+        self._stats[key] = (count + 1, self._clock)
+
+    def on_admit(self, key: PageKey) -> None:
+        self._touch(key)
+
+    def on_hit(self, key: PageKey) -> None:
+        self._touch(key)
+
+    def choose_victim(self, evictable: EvictablePredicate) -> Optional[PageKey]:
+        best_key: Optional[PageKey] = None
+        best_rank: Optional[Tuple[int, int]] = None
+        for key, rank in self._stats.items():
+            if not evictable(key):
+                continue
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_key = key
+        return best_key
+
+    def on_evict(self, key: PageKey) -> None:
+        self._stats.pop(key, None)

@@ -1,0 +1,156 @@
+"""LIRS replacement (Jiang & Zhang, SIGMETRICS 2002).
+
+LIRS ranks pages by *Inter-Reference Recency* (IRR): pages re-referenced
+within a short window are LIR ("low IRR", the protected working set);
+everything else is HIR and evicted first.  The structure is the classic
+two-part one:
+
+* the **stack S** orders recently seen pages (LIR, resident HIR, and
+  non-resident HIR ghosts) by recency; a hit on an entry *in* S proves a
+  small IRR and promotes the page to LIR;
+* the **queue Q** lists resident HIR pages in FIFO order — the eviction
+  candidates.
+
+The stack is pruned so its bottom entry is always LIR; demotions at the
+bottom balance promotions.  This adaptation keeps the textbook algorithm
+but exposes victims through the pool's evictable-filtered interface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.buffer.page import PageKey
+from repro.buffer.replacement.base import EvictablePredicate, ReplacementPolicy
+
+
+class LirsPolicy(ReplacementPolicy):
+    """Low Inter-reference Recency Set replacement."""
+
+    name = "lirs"
+
+    def __init__(self, capacity: int, hir_fraction: float = 0.1):
+        if capacity < 2:
+            raise ValueError(f"LIRS needs capacity >= 2, got {capacity}")
+        if not 0.0 < hir_fraction < 1.0:
+            raise ValueError(f"hir_fraction must be in (0, 1), got {hir_fraction}")
+        self.capacity = capacity
+        self.lir_capacity = max(1, int(capacity * (1.0 - hir_fraction)))
+        # Stack S: key -> status ("lir" | "hir" | "ghost"), recency order
+        # (oldest first, top of stack = most recent = last).
+        self._stack: "OrderedDict[PageKey, str]" = OrderedDict()
+        # Queue Q: resident HIR pages in FIFO order.
+        self._queue: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._lir_count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle notifications
+    # ------------------------------------------------------------------
+
+    def on_admit(self, key: PageKey) -> None:
+        status = self._stack.get(key)
+        if status == "ghost":
+            # Re-reference within the stack window: small IRR -> LIR.
+            self._set_lir(key)
+            self._rebalance()
+        elif self._lir_count < self.lir_capacity:
+            # Cold start: fill the LIR set first.
+            self._set_lir(key)
+        else:
+            self._stack[key] = "hir"
+            self._stack.move_to_end(key)
+            self._queue[key] = None
+            self._queue.move_to_end(key)
+        self._prune()
+
+    def on_hit(self, key: PageKey) -> None:
+        status = self._stack.get(key)
+        if status == "lir":
+            self._stack.move_to_end(key)
+        elif status == "hir":
+            # Resident HIR hit while still in S: promote to LIR.
+            self._queue.pop(key, None)
+            self._set_lir(key)
+            self._rebalance()
+        else:
+            # Resident HIR whose stack entry was pruned away: it stays
+            # HIR but re-enters the stack top and refreshes its Q slot.
+            if key in self._queue:
+                self._stack[key] = "hir"
+                self._stack.move_to_end(key)
+                self._queue.move_to_end(key)
+        self._prune()
+
+    def choose_victim(self, evictable: EvictablePredicate) -> Optional[PageKey]:
+        for key in self._queue:
+            if evictable(key):
+                return key
+        # No evictable HIR page: fall back to LIR pages, coldest first.
+        for key, status in self._stack.items():
+            if status == "lir" and evictable(key):
+                return key
+        return None
+
+    def on_evict(self, key: PageKey) -> None:
+        if key in self._queue:
+            del self._queue[key]
+            if key in self._stack:
+                # Keep a ghost so a prompt re-reference proves a low IRR.
+                self._stack[key] = "ghost"
+        elif self._stack.get(key) == "lir":
+            self._lir_count -= 1
+            del self._stack[key]
+        self._prune()
+        self._trim_stack()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _set_lir(self, key: PageKey) -> None:
+        if self._stack.get(key) != "lir":
+            self._lir_count += 1
+        self._stack[key] = "lir"
+        self._stack.move_to_end(key)
+
+    def _rebalance(self) -> None:
+        """Demote bottom LIR pages while the LIR set exceeds its budget."""
+        while self._lir_count > self.lir_capacity:
+            bottom_key = next(iter(self._stack))
+            status = self._stack.pop(bottom_key)
+            if status == "lir":
+                self._lir_count -= 1
+                self._queue[bottom_key] = None
+                self._queue.move_to_end(bottom_key)
+            # HIR/ghost entries at the bottom simply fall off (pruning).
+        self._prune()
+
+    def _prune(self) -> None:
+        """Keep the stack bottom LIR (the LIRS invariant)."""
+        while self._stack:
+            bottom_key = next(iter(self._stack))
+            if self._stack[bottom_key] == "lir":
+                break
+            del self._stack[bottom_key]
+
+    def _trim_stack(self) -> None:
+        """Bound ghost history to ~2x capacity."""
+        limit = 2 * self.capacity
+        while len(self._stack) > limit:
+            for key, status in list(self._stack.items()):
+                if status == "ghost":
+                    del self._stack[key]
+                    break
+            else:
+                break
+
+    def sizes(self) -> dict:
+        """Structure sizes for tests."""
+        ghosts = sum(1 for s in self._stack.values() if s == "ghost")
+        return {
+            "lir": self._lir_count,
+            "resident_hir": len(self._queue),
+            "ghosts": ghosts,
+            "stack": len(self._stack),
+        }

@@ -1,0 +1,63 @@
+"""LRFU replacement (Lee et al., IEEE ToC 2001).
+
+LRFU subsumes LRU and LFU through a single decay parameter λ: each page
+carries a Combined Recency and Frequency (CRF) value that gains 1.0 on
+every access and decays by 2^(-λ·Δt) over logical time.  λ → 0 behaves
+like LFU (history dominates); large λ behaves like LRU (only the last
+access matters).  The victim is the page with the smallest current CRF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.buffer.page import PageKey
+from repro.buffer.replacement.base import EvictablePredicate, ReplacementPolicy
+
+
+class LrfuPolicy(ReplacementPolicy):
+    """Combined recency/frequency victim selection."""
+
+    name = "lrfu"
+
+    def __init__(self, lam: float = 0.01):
+        if not 0.0 < lam <= 1.0:
+            raise ValueError(f"LRFU lambda must be in (0, 1], got {lam}")
+        self.lam = lam
+        # key -> (crf at last access, logical time of last access)
+        self._crf: Dict[PageKey, Tuple[float, int]] = {}
+        self._clock = 0
+
+    def _decay(self, delta: int) -> float:
+        return 2.0 ** (-self.lam * delta)
+
+    def _touch(self, key: PageKey) -> None:
+        self._clock += 1
+        crf, last = self._crf.get(key, (0.0, self._clock))
+        self._crf[key] = (1.0 + crf * self._decay(self._clock - last), self._clock)
+
+    def on_admit(self, key: PageKey) -> None:
+        self._touch(key)
+
+    def on_hit(self, key: PageKey) -> None:
+        self._touch(key)
+
+    def current_crf(self, key: PageKey) -> float:
+        """The page's CRF decayed to the current logical time."""
+        crf, last = self._crf[key]
+        return crf * self._decay(self._clock - last)
+
+    def choose_victim(self, evictable: EvictablePredicate) -> Optional[PageKey]:
+        best_key: Optional[PageKey] = None
+        best_value = float("inf")
+        for key in self._crf:
+            if not evictable(key):
+                continue
+            value = self.current_crf(key)
+            if value < best_value:
+                best_value = value
+                best_key = key
+        return best_key
+
+    def on_evict(self, key: PageKey) -> None:
+        self._crf.pop(key, None)

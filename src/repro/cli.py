@@ -1,0 +1,179 @@
+"""Command-line interface: run any experiment without writing code.
+
+Usage::
+
+    python -m repro list
+    python -m repro run e4 --scale 0.35 --streams 5
+    python -m repro run a3 --scale 0.2
+    python -m repro quickstart
+
+``run`` executes one experiment (see ``list`` for ids) and prints the
+same rows/series the paper's corresponding table or figure reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ExperimentSettings,
+    ablation_bufferpool_sweep,
+    ablation_disk_array,
+    ablation_disk_scheduler,
+    ablation_fairness_cap,
+    ablation_policies,
+    ablation_priority,
+    ablation_threshold,
+    ablation_throttling,
+    e1_overhead,
+    e2_staggered_q6,
+    e3_staggered_q1,
+    e4_throughput,
+    e5_reads_timeline,
+    e6_seeks_timeline,
+    e7_per_stream,
+    e8_per_query,
+    e9_stream_scaling,
+)
+from repro.metrics.report import format_table
+
+
+def _render_bufferpool_sweep(settings: ExperimentSettings) -> str:
+    comparisons = ablation_bufferpool_sweep(settings)
+    rows = [
+        [f"{fraction:.0%}", c.base.makespan, c.shared.makespan,
+         c.end_to_end_gain, c.disk_read_gain]
+        for fraction, c in sorted(comparisons.items())
+    ]
+    return format_table(
+        ["pool", "Base (s)", "SS (s)", "e2e gain %", "read gain %"], rows
+    )
+
+
+def _render_disk_array(settings: ExperimentSettings) -> str:
+    comparisons = ablation_disk_array(settings)
+    rows = [
+        [n, c.base.makespan, c.shared.makespan, c.end_to_end_gain,
+         c.disk_read_gain]
+        for n, c in sorted(comparisons.items())
+    ]
+    return format_table(
+        ["disks", "Base (s)", "SS (s)", "e2e gain %", "read gain %"], rows
+    )
+
+
+#: Experiment id -> (description, runner returning printable text).
+EXPERIMENTS: Dict[str, tuple] = {
+    "e1": ("single-stream overhead (paper: < 1 %)",
+           lambda s: e1_overhead(s).render()),
+    "e2": ("3 staggered I/O-bound queries (Figure-15 analog)",
+           lambda s: e2_staggered_q6(s).render()),
+    "e3": ("3 staggered CPU-bound queries (Figure-16 analog)",
+           lambda s: e3_staggered_q1(s).render()),
+    "e4": ("multi-stream throughput gains (Table-1 analog)",
+           lambda s: e4_throughput(s).render()),
+    "e5": ("disk reads over time (Figure-17 analog)",
+           lambda s: e5_reads_timeline(s).render()),
+    "e6": ("disk seeks over time (Figure-18 analog)",
+           lambda s: e6_seeks_timeline(s).render()),
+    "e7": ("per-stream gains (Figure-19 analog)",
+           lambda s: e7_per_stream(s).render()),
+    "e8": ("per-query gains (Figure-20 analog)",
+           lambda s: e8_per_query(s).render()),
+    "e9": ("throughput vs number of streams (scalability claim)",
+           lambda s: e9_stream_scaling(s).render()),
+    "a1": ("ablation: throttling on/off",
+           lambda s: ablation_throttling(s).render()),
+    "a2": ("ablation: page prioritization on/off",
+           lambda s: ablation_priority(s).render()),
+    "a3": ("ablation: drift-threshold sweep",
+           lambda s: ablation_threshold(s).render()),
+    "a4": ("ablation: bufferpool-size sweep", _render_bufferpool_sweep),
+    "a5": ("related work: victim-policy comparison",
+           lambda s: ablation_policies(s).render()),
+    "a6": ("ablation: fairness-cap sweep",
+           lambda s: ablation_fairness_cap(s).render()),
+    "a7": ("ablation: disk scheduler vs coordination",
+           lambda s: ablation_disk_scheduler(s).render()),
+    "a9": ("ablation: spindle count vs coordination", _render_disk_array),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Increasing Buffer-Locality for "
+                    "Multiple Relational Table Scans through Grouping and "
+                    "Throttling' (ICDE 2007)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                     help="experiment id")
+    run.add_argument("--scale", type=float, default=0.25,
+                     help="database scale factor (1.0 = headline size)")
+    run.add_argument("--streams", type=int, default=5,
+                     help="number of concurrent query streams")
+    run.add_argument("--seed", type=int, default=42, help="workload seed")
+    run.add_argument("--policy", default="priority-lru",
+                     help="bufferpool victim policy")
+
+    quick = subparsers.add_parser(
+        "quickstart", help="base-vs-sharing comparison on a TPC-H mix"
+    )
+    quick.add_argument("--scale", type=float, default=0.25)
+    quick.add_argument("--streams", type=int, default=3)
+    return parser
+
+
+def _cmd_list() -> str:
+    rows = [[exp_id, description] for exp_id, (description, _runner)
+            in sorted(EXPERIMENTS.items())]
+    return format_table(["id", "experiment"], rows)
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    settings = ExperimentSettings(
+        scale=args.scale, n_streams=args.streams, seed=args.seed,
+        policy=args.policy,
+    )
+    description, runner = EXPERIMENTS[args.experiment]
+    header = f"{args.experiment.upper()} — {description} (scale {args.scale}, {args.streams} streams)"
+    return header + "\n" + runner(settings)
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> str:
+    from repro.experiments.harness import compare_modes
+
+    settings = ExperimentSettings(scale=args.scale, n_streams=args.streams)
+    comparison = compare_modes(settings)
+    rows = [
+        ["end-to-end (s)", comparison.base.makespan, comparison.shared.makespan,
+         comparison.end_to_end_gain],
+        ["pages read", comparison.base.pages_read, comparison.shared.pages_read,
+         comparison.disk_read_gain],
+        ["disk seeks", comparison.base.seeks, comparison.shared.seeks,
+         comparison.disk_seek_gain],
+    ]
+    return format_table(["metric", "Base", "SS", "gain %"], rows)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list())
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "quickstart":
+        print(_cmd_quickstart(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: the scan sharing manager.
+
+This package implements the mechanism of *"Increasing Buffer-Locality for
+Multiple Relational Table Scans through Grouping and Throttling"*:
+
+* a central :class:`~repro.core.manager.ScanSharingManager` that tracks
+  ongoing scans' locations and speeds through three cheap callbacks
+  (start / update-location / end) added to the scan operator;
+* **placement** — a new scan may start in the middle of its range, at the
+  position of an ongoing scan it can share bufferpool pages with, then
+  wrap around (:mod:`repro.core.placement`);
+* **grouping** — scans on the same table are merged into groups of nearby
+  positions whose combined extent fits the bufferpool
+  (:mod:`repro.core.grouping`);
+* **throttling** — each group's leader is slowed with inserted waits when
+  it drifts more than a threshold ahead of the trailer, bounded by an
+  accumulated-slowdown fairness cap (:mod:`repro.core.throttle`);
+* **page prioritization** — leaders release pages at HIGH priority
+  (followers need them), trailers at LOW (:mod:`repro.core.priority`).
+
+Everything below the manager — bufferpool, disk, storage — is treated as
+a black box, exactly as the paper requires.
+"""
+
+from repro.core.config import SharingConfig
+from repro.core.manager import ScanSharingManager, SharingStats
+from repro.core.scan_state import ScanDescriptor, ScanState
+from repro.core.grouping import ScanGroup, form_groups
+
+__all__ = [
+    "ScanDescriptor",
+    "ScanGroup",
+    "ScanSharingManager",
+    "ScanState",
+    "SharingConfig",
+    "SharingStats",
+    "form_groups",
+]

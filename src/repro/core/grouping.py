@@ -1,0 +1,110 @@
+"""Scan grouping — the paper's leader/trailer classification algorithm.
+
+Scans on the same table are sorted by position; adjacent pairs are then
+merged into groups in order of increasing distance until the combined
+extent of all groups would exceed the bufferpool budget (the paper's
+Figure-14 ``findLeadersTrailers``).  Each resulting group's front-most
+member is its *leader* and the rear-most its *trailer*; a scan alone in a
+group is both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.scan_state import ScanState
+
+
+@dataclass
+class ScanGroup:
+    """A set of same-table scans close enough to share bufferpool pages."""
+
+    group_id: int
+    table_name: str
+    members: List[ScanState] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of scans in the group."""
+        return len(self.members)
+
+    @property
+    def trailer(self) -> ScanState:
+        """The rear-most scan (smallest position)."""
+        return self.members[0]
+
+    @property
+    def leader(self) -> ScanState:
+        """The front-most scan (largest position)."""
+        return self.members[-1]
+
+    @property
+    def extent_pages(self) -> int:
+        """Distance in pages between trailer and leader."""
+        return self.leader.position - self.trailer.position
+
+    def __contains__(self, scan: ScanState) -> bool:
+        return any(member.scan_id == scan.scan_id for member in self.members)
+
+
+def form_groups(
+    scans_by_table: Dict[str, Sequence[ScanState]],
+    pool_budget_pages: int,
+) -> List[ScanGroup]:
+    """Partition active scans into groups under a bufferpool budget.
+
+    Implements the paper's greedy merge: consider all adjacent same-table
+    scan pairs, sorted by distance; merge the closest pairs first; stop
+    adding pairs once the sum of group extents would exceed
+    ``pool_budget_pages``.  Also updates each state's ``group_id`` /
+    ``is_leader`` / ``is_trailer`` flags.
+    """
+    # Collect candidate adjacent pairs across all tables.
+    sorted_scans: Dict[str, List[ScanState]] = {}
+    pairs: List[Tuple[int, str, int]] = []  # (distance, table, index of left scan)
+    for table_name, scans in scans_by_table.items():
+        ordered = sorted(scans, key=lambda s: (s.position, s.scan_id))
+        sorted_scans[table_name] = ordered
+        for i in range(len(ordered) - 1):
+            distance = ordered[i + 1].position - ordered[i].position
+            pairs.append((distance, table_name, i))
+    pairs.sort(key=lambda p: (p[0], p[1], p[2]))
+
+    # Greedily accept pairs while the budget holds.  Accepting a pair
+    # joins two adjacent chains, growing the total extent by exactly the
+    # pair's distance.
+    accepted: Dict[str, set] = {name: set() for name in sorted_scans}
+    total_extent = 0
+    for distance, table_name, index in pairs:
+        if total_extent + distance > pool_budget_pages:
+            continue
+        accepted[table_name].add(index)
+        total_extent += distance
+
+    # Build groups as maximal runs of accepted adjacencies.
+    groups: List[ScanGroup] = []
+    next_group_id = 0
+    for table_name, ordered in sorted_scans.items():
+        if not ordered:
+            continue
+        run_start = 0
+        for i in range(len(ordered)):
+            run_ends = i == len(ordered) - 1 or i not in accepted[table_name]
+            if run_ends:
+                group = ScanGroup(
+                    group_id=next_group_id,
+                    table_name=table_name,
+                    members=ordered[run_start : i + 1],
+                )
+                next_group_id += 1
+                groups.append(group)
+                run_start = i + 1
+
+    # Stamp membership flags onto the states.
+    for group in groups:
+        for member in group.members:
+            member.group_id = group.group_id
+            member.is_leader = member.scan_id == group.leader.scan_id
+            member.is_trailer = member.scan_id == group.trailer.scan_id
+    return groups

@@ -1,0 +1,248 @@
+"""The scan sharing manager (the paper's central component).
+
+One manager exists per bufferpool.  Scan operators talk to it through
+exactly the calls the paper adds to the scan code:
+
+* :meth:`ScanSharingManager.start_scan` — register, get a start location;
+* :meth:`ScanSharingManager.update_location` — report progress, possibly
+  receive an inserted throttle wait;
+* :meth:`ScanSharingManager.page_priority` — the priority for releasing
+  the current page;
+* :meth:`ScanSharingManager.end_scan` — deregister.
+
+The manager never touches the bufferpool or the disk; it only observes
+scan progress and returns placement, wait, and priority decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.buffer.page import Priority
+from repro.core.config import SharingConfig
+from repro.core.grouping import ScanGroup, form_groups
+from repro.core.placement import PlacementDecision, choose_start
+from repro.core.priority import release_priority
+from repro.core.scan_state import ScanDescriptor, ScanState
+from repro.core.throttle import evaluate_throttle
+from repro.sim.kernel import Simulator
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class SharingStats:
+    """Counters exposed for tests and experiment reports."""
+
+    scans_started: int = 0
+    scans_finished: int = 0
+    scans_joined_ongoing: int = 0
+    scans_joined_last_finished: int = 0
+    regroups: int = 0
+    throttle_waits: int = 0
+    total_throttle_time: float = 0.0
+    fairness_cap_hits: int = 0
+    # (time, number_of_groups) samples taken at each regroup.
+    group_count_trace: List[Tuple[float, int]] = field(default_factory=list)
+
+
+class ScanSharingManager:
+    """Tracks ongoing scans and issues placement/throttle/priority decisions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        catalog: Catalog,
+        pool_capacity: int,
+        config: Optional[SharingConfig] = None,
+    ):
+        self.sim = sim
+        self.catalog = catalog
+        self.pool_capacity = pool_capacity
+        self.config = config or SharingConfig()
+        self.stats = SharingStats()
+        self._states: Dict[int, ScanState] = {}
+        self._groups: List[ScanGroup] = []
+        self._group_by_id: Dict[int, ScanGroup] = {}
+        self._last_finished: Dict[str, int] = {}  # table -> final position
+        self._last_regroup_time: float = -1.0
+        self._next_scan_id = 0
+
+    # ------------------------------------------------------------------
+    # Scan lifecycle callbacks
+    # ------------------------------------------------------------------
+
+    def start_scan(self, descriptor: ScanDescriptor) -> ScanState:
+        """Register a new scan and decide where it starts."""
+        table = self.catalog.table(descriptor.table_name)
+        if descriptor.last_page >= table.n_pages:
+            raise ValueError(
+                f"scan range [{descriptor.first_page}, {descriptor.last_page}] "
+                f"exceeds table {table.name!r} of {table.n_pages} pages"
+            )
+        decision = self._place(descriptor, table.extent_size)
+        state = ScanState(
+            scan_id=self._next_scan_id,
+            descriptor=descriptor,
+            start_page=decision.start_page,
+            start_time=self.sim.now,
+            speed=descriptor.estimated_speed,
+            last_update_time=self.sim.now,
+        )
+        self._next_scan_id += 1
+        self._states[state.scan_id] = state
+        self.stats.scans_started += 1
+        if decision.joined_scan_id is not None:
+            self.stats.scans_joined_ongoing += 1
+        if decision.joined_last_finished:
+            self.stats.scans_joined_last_finished += 1
+        self._regroup(force=True)
+        return state
+
+    def update_location(self, scan_id: int, pages_scanned: int) -> float:
+        """Record scan progress; returns seconds of inserted throttle wait.
+
+        ``pages_scanned`` is the cumulative page count since scan start
+        (monotonically non-decreasing).
+        """
+        state = self._state(scan_id)
+        if pages_scanned < state.pages_scanned:
+            raise ValueError(
+                f"scan {scan_id}: pages_scanned went backwards "
+                f"({pages_scanned} < {state.pages_scanned})"
+            )
+        now = self.sim.now
+        delta_pages = pages_scanned - state.pages_at_last_update
+        delta_time = now - state.last_update_time
+        state.pages_scanned = pages_scanned
+        if delta_time > 0 and delta_pages > 0:
+            instantaneous = delta_pages / delta_time
+            alpha = self.config.speed_smoothing
+            state.speed = alpha * instantaneous + (1.0 - alpha) * state.speed
+            state.last_update_time = now
+            state.pages_at_last_update = pages_scanned
+
+        if not self.config.enabled:
+            return 0.0
+
+        # Regroup periodically — or immediately when this scan's movement
+        # has invalidated its group's leader/trailer ordering (it overtook
+        # the flagged leader or fell behind the flagged trailer).
+        group = self._group_of(state)
+        order_violated = (
+            group is not None
+            and group.size > 1
+            and (
+                (not state.is_leader and state.position > group.leader.position)
+                or (not state.is_trailer and state.position < group.trailer.position)
+            )
+        )
+        self._regroup(force=order_violated)
+        group = self._group_of(state)
+        if group is None:
+            return 0.0
+        table = self.catalog.table(state.descriptor.table_name)
+        decision = evaluate_throttle(state, group, self.config, table.extent_size)
+        if decision.capped_by_fairness:
+            self.stats.fairness_cap_hits += 1
+        if decision.throttled:
+            state.accumulated_delay += decision.wait
+            self.stats.throttle_waits += 1
+            self.stats.total_throttle_time += decision.wait
+        return decision.wait
+
+    def page_priority(self, scan_id: int) -> Priority:
+        """Replacement priority for pages this scan releases right now."""
+        state = self._state(scan_id)
+        group = self._group_of(state)
+        group_size = group.size if group is not None else 1
+        return release_priority(state, group_size, self.config)
+
+    def end_scan(self, scan_id: int) -> None:
+        """Deregister a finished scan."""
+        state = self._state(scan_id)
+        state.finished = True
+        # Remember where the scan's *reading* stopped (one page before its
+        # wrapped final position): the pages it left in the bufferpool
+        # trail that location, and a future scan may start there.
+        first = state.descriptor.first_page
+        final_read = first + (state.position - first - 1) % state.range_pages
+        self._last_finished[state.descriptor.table_name] = final_read
+        del self._states[scan_id]
+        self.stats.scans_finished += 1
+        self._regroup(force=True)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def active_scan_count(self) -> int:
+        """Number of currently registered scans."""
+        return len(self._states)
+
+    def active_scans(self) -> List[ScanState]:
+        """Snapshot of registered scan states."""
+        return list(self._states.values())
+
+    def groups(self) -> List[ScanGroup]:
+        """The most recently formed groups."""
+        return list(self._groups)
+
+    def scan_state(self, scan_id: int) -> ScanState:
+        """State of a registered scan (raises if unknown/finished)."""
+        return self._state(scan_id)
+
+    def last_finished_position(self, table_name: str) -> Optional[int]:
+        """Final position of the last scan that finished on a table."""
+        return self._last_finished.get(table_name)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _state(self, scan_id: int) -> ScanState:
+        try:
+            return self._states[scan_id]
+        except KeyError:
+            raise KeyError(f"unknown or finished scan id {scan_id}") from None
+
+    def _place(self, descriptor: ScanDescriptor, extent_size: int) -> PlacementDecision:
+        candidates = [
+            state
+            for state in self._states.values()
+            if state.descriptor.table_name == descriptor.table_name
+        ]
+        return choose_start(
+            descriptor,
+            candidates,
+            self.config,
+            extent_size,
+            last_finished_position=self._last_finished.get(descriptor.table_name),
+            # Conservative estimate of the finished scan's pages still
+            # resident: other scans and tables share the pool.
+            leftover_pages=self.pool_capacity // 2,
+        )
+
+    def _group_of(self, state: ScanState) -> Optional[ScanGroup]:
+        if state.group_id is None:
+            return None
+        return self._group_by_id.get(state.group_id)
+
+    def _regroup(self, force: bool = False) -> None:
+        if not (self.config.enabled and self.config.grouping_enabled):
+            self._groups = []
+            self._group_by_id = {}
+            return
+        now = self.sim.now
+        if not force and now - self._last_regroup_time < self.config.regroup_interval:
+            return
+        self._last_regroup_time = now
+        by_table: Dict[str, List[ScanState]] = {}
+        for state in self._states.values():
+            by_table.setdefault(state.descriptor.table_name, []).append(state)
+        budget = int(self.pool_capacity * self.config.pool_budget_fraction)
+        self._groups = form_groups(by_table, budget)
+        self._group_by_id = {group.group_id: group for group in self._groups}
+        self.stats.regroups += 1
+        self.stats.group_count_trace.append((now, len(self._groups)))

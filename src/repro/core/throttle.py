@@ -1,0 +1,83 @@
+"""Leader throttling — drift control inside a scan group.
+
+The group leader is the only scan ever slowed down.  When its distance to
+the trailer exceeds the threshold (two prefetch extents by default), a
+wait sized from the trailer's *measured* speed is inserted into the
+leader's next location-update call, long enough for the gap to shrink
+back to the target distance.  The wait simply makes the update call
+appear slow to the scan, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SharingConfig
+from repro.core.grouping import ScanGroup
+from repro.core.scan_state import ScanState
+
+#: Floor for speed values used as divisors.
+_MIN_SPEED = 1e-9
+
+
+@dataclass(frozen=True)
+class ThrottleDecision:
+    """Outcome of one throttle evaluation."""
+
+    wait: float
+    capped_by_fairness: bool
+
+    @property
+    def throttled(self) -> bool:
+        """Whether any wait was inserted."""
+        return self.wait > 0.0
+
+
+def evaluate_throttle(
+    scan: ScanState,
+    group: ScanGroup,
+    config: SharingConfig,
+    extent_size: int,
+) -> ThrottleDecision:
+    """Decide how long ``scan`` should wait at this location update.
+
+    Only a group leader with at least one follower is ever throttled.
+    The fairness cap (the paper's 80 % rule) permanently exempts a scan
+    whose accumulated delay has consumed its share of estimated scan
+    time.
+    """
+    no_wait = ThrottleDecision(wait=0.0, capped_by_fairness=False)
+    if not config.throttling_enabled or not config.enabled:
+        return no_wait
+    if scan.throttle_exempt or scan.finished:
+        return no_wait
+    if group.size <= 1 or not scan.is_leader:
+        return no_wait
+
+    trailer = group.trailer
+    if trailer.finished:
+        return no_wait
+    distance = scan.position - trailer.position
+    threshold = config.distance_threshold_extents * extent_size
+    if distance <= threshold:
+        return no_wait
+
+    target = config.target_distance_extents * extent_size
+    trailer_speed = max(trailer.speed, _MIN_SPEED)
+    wait = (distance - target) / trailer_speed
+    wait = min(wait, config.max_wait_per_update)
+
+    # Fairness: never delay a scan beyond the cap fraction of its
+    # estimated total time.
+    allowance = (
+        config.slowdown_cap_fraction * scan.estimated_total_time
+        - scan.accumulated_delay
+    )
+    if allowance <= 0.0:
+        scan.throttle_exempt = True
+        return ThrottleDecision(wait=0.0, capped_by_fairness=True)
+    capped = wait > allowance
+    if capped:
+        wait = allowance
+        scan.throttle_exempt = True
+    return ThrottleDecision(wait=wait, capped_by_fairness=capped)

@@ -1,0 +1,17 @@
+"""Simulated storage device.
+
+The paper measures its gains in *disk reads* and *disk seeks* (HP-UX and
+AIX iostat counters).  This package provides the device model those
+counters come from in the reproduction: a single-arm disk with a
+seek + settle + transfer service-time model, a FIFO request queue, and full
+per-request tracing so the experiment harness can rebuild the paper's
+"reads over time" and "seeks over time" figures.
+"""
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.device import Disk, DiskRequest
+from repro.disk.array import ArrayStats, DiskArray
+from repro.disk.stats import DiskStats
+
+__all__ = ["ArrayStats", "Disk", "DiskArray", "DiskGeometry", "DiskRequest",
+           "DiskStats"]

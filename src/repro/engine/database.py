@@ -1,0 +1,259 @@
+"""The database facade: one object wiring every subsystem together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.buffer.pool import BufferPool
+from repro.buffer.replacement import make_policy
+from repro.core.config import SharingConfig
+from repro.core.manager import ScanSharingManager
+from repro.disk.array import DiskArray
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.engine.costs import CostModel
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.cpu import CpuBreakdown, compute_cpu_breakdown
+from repro.sim.kernel import Simulator
+from repro.sim.resource import Resource
+from repro.storage.catalog import Catalog
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+from repro.storage.tablespace import Tablespace
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Whole-system configuration for one simulated database instance."""
+
+    n_cpus: int = 4
+    #: Absolute pool size in pages; None derives it from pool_fraction.
+    pool_pages: Optional[int] = None
+    #: Pool size as a fraction of the database (the paper used ~5 %).
+    pool_fraction: float = 0.05
+    #: Floor on the derived pool size (must cover pins + prefetch runs).
+    min_pool_pages: int = 96
+    policy: str = "priority-lru"
+    disk_scheduler: str = "fifo"
+    #: Number of striped spindles; 1 = single disk (the default model).
+    n_disks: int = 1
+    disk_stripe_pages: int = 64
+    geometry: DiskGeometry = field(default_factory=DiskGeometry)
+    sharing: SharingConfig = field(default_factory=SharingConfig)
+    cost: CostModel = field(default_factory=CostModel)
+    #: Kernel CPU cost attributed per physical I/O request ("system" time).
+    io_syscall_cpu: float = 20e-6
+    #: CPU cost of one sharing-manager call (the paper's sub-1 % overhead).
+    manager_call_overhead_cpu: float = 2e-6
+    extent_size: int = 16
+    seed: int = 42
+    #: Record every scan's visited page order (costs memory; used by the
+    #: trace analyzer in :mod:`repro.metrics.access_log`).
+    record_page_visits: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {self.n_cpus}")
+        if not 0.0 < self.pool_fraction <= 1.0:
+            raise ValueError(
+                f"pool_fraction must be in (0, 1], got {self.pool_fraction}"
+            )
+        if self.extent_size < 1:
+            raise ValueError(f"extent_size must be >= 1, got {self.extent_size}")
+        if self.n_disks < 1:
+            raise ValueError(f"n_disks must be >= 1, got {self.n_disks}")
+        if self.disk_stripe_pages < 1:
+            raise ValueError(
+                f"disk_stripe_pages must be >= 1, got {self.disk_stripe_pages}"
+            )
+
+
+class Database:
+    """A simulated database instance.
+
+    Usage::
+
+        db = Database(SystemConfig(sharing=SharingConfig(enabled=True)))
+        db.create_table(schema, n_pages=1600)
+        db.open()
+        ... run queries via repro.engine.executor ...
+    """
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config or SystemConfig()
+        self.sim = Simulator()
+        if self.config.n_disks > 1:
+            self.disk = DiskArray(
+                self.sim,
+                n_disks=self.config.n_disks,
+                geometry=self.config.geometry,
+                stripe_pages=self.config.disk_stripe_pages,
+                scheduler=self.config.disk_scheduler,
+            )
+        else:
+            self.disk = Disk(self.sim, self.config.geometry,
+                             scheduler=self.config.disk_scheduler)
+        self.tablespace = Tablespace(self.config.geometry.total_pages)
+        self.catalog = Catalog(self.tablespace)
+        self.cpu = Resource(self.sim, self.config.n_cpus, name="cpu")
+        self.metrics = MetricsCollector()
+        self.cost = self.config.cost
+        self._pool: Optional[BufferPool] = None
+        self._sharing: Optional[ScanSharingManager] = None
+        self._block_indexes: dict = {}
+        self._index_managers: dict = {}
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self, schema: TableSchema, n_pages: int, extent_size: Optional[int] = None
+    ) -> Table:
+        """Create and register a table (before :meth:`open`)."""
+        if self._pool is not None:
+            raise RuntimeError("cannot create tables after the database is opened")
+        table = Table(
+            schema,
+            n_pages=n_pages,
+            extent_size=extent_size or self.config.extent_size,
+            seed=self.config.seed,
+        )
+        return self.catalog.create_table(table)
+
+    def open(self) -> "Database":
+        """Size and build the bufferpool and the sharing manager."""
+        if self._pool is not None:
+            raise RuntimeError("database already open")
+        if len(self.catalog) == 0:
+            raise RuntimeError("create at least one table before opening")
+        capacity = self.config.pool_pages or max(
+            self.config.min_pool_pages,
+            int(self.catalog.total_pages * self.config.pool_fraction),
+        )
+        self._pool = BufferPool(
+            self.sim,
+            self.disk,
+            capacity=capacity,
+            address_of=self.catalog.address_of,
+            policy=make_policy(self.config.policy, capacity),
+        )
+        self._sharing = ScanSharingManager(
+            self.sim, self.catalog, capacity, self.config.sharing
+        )
+        return self
+
+    @property
+    def is_open(self) -> bool:
+        """Whether :meth:`open` has been called."""
+        return self._pool is not None
+
+    @property
+    def pool(self) -> BufferPool:
+        """The bufferpool (requires :meth:`open`)."""
+        if self._pool is None:
+            raise RuntimeError("database not open; call Database.open() first")
+        return self._pool
+
+    @property
+    def sharing(self) -> ScanSharingManager:
+        """The scan sharing manager (requires :meth:`open`)."""
+        if self._sharing is None:
+            raise RuntimeError("database not open; call Database.open() first")
+        return self._sharing
+
+    @property
+    def sharing_enabled(self) -> bool:
+        """Whether the sharing mechanism is active."""
+        return self.config.sharing.enabled
+
+    # ------------------------------------------------------------------
+    # Block indexes (MDC-style; used by index-scan query steps)
+    # ------------------------------------------------------------------
+
+    def create_block_index(
+        self, table_name: str, block_size_pages: Optional[int] = None,
+        scatter: bool = True,
+    ):
+        """Create an MDC-style block index over a table.
+
+        ``scatter=True`` (default) models out-of-order inserts: entries
+        are key-ordered but blocks are spread across the table, so index
+        scans produce the non-sequential access pattern the SISCAN
+        machinery exists for.
+        """
+        from repro.extensions.index_sharing.index import BlockIndex
+
+        if table_name in self._block_indexes:
+            raise ValueError(f"table {table_name!r} already has a block index")
+        table = self.catalog.table(table_name)
+        index = BlockIndex(
+            table,
+            block_size_pages=block_size_pages or self.config.extent_size,
+            scatter=scatter,
+            scatter_seed=self.config.seed,
+        )
+        self._block_indexes[table_name] = index
+        return index
+
+    def block_index(self, table_name: str):
+        """The table's block index (raises if none was created)."""
+        try:
+            return self._block_indexes[table_name]
+        except KeyError:
+            raise KeyError(
+                f"no block index on {table_name!r}; call create_block_index"
+            ) from None
+
+    def index_sharing_manager(self, table_name: str):
+        """The (lazily created) ISM coordinating SISCANs on one index."""
+        from repro.extensions.index_sharing.manager import IndexScanSharingManager
+
+        if table_name not in self._index_managers:
+            index = self.block_index(table_name)
+            self._index_managers[table_name] = IndexScanSharingManager(
+                self.sim,
+                pages_per_entry=index.block_size_pages,
+                pool_capacity=self.pool.capacity,
+                config=self.config.sharing,
+            )
+        return self._index_managers[table_name]
+
+    # ------------------------------------------------------------------
+    # Scan support
+    # ------------------------------------------------------------------
+
+    def default_scan_speed_estimate(self, table_name: str) -> float:
+        """Optimizer-style pages/second estimate for an I/O-bound scan."""
+        del table_name  # same device for every table
+        return 1.0 / self.config.geometry.transfer_time(1)
+
+    def charge_manager_call_overhead(self) -> Generator:
+        """Charge the CPU cost of one sharing-manager call."""
+        overhead = self.config.manager_call_overhead_cpu
+        if overhead > 0:
+            yield self.cpu.acquire()
+            yield self.sim.timeout(overhead)
+            self.cpu.release()
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the simulation; returns the final simulated time."""
+        return self.sim.run(until)
+
+    def cpu_breakdown(self, until: Optional[float] = None) -> CpuBreakdown:
+        """iostat-style user/system/idle/iowait fractions over the run."""
+        end = until if until is not None else self.sim.now
+        io_requests = self.disk.stats.reads + self.disk.stats.writes
+        return compute_cpu_breakdown(
+            self.cpu.busy_timeline,
+            self.disk.outstanding_timeline,
+            cores=self.config.n_cpus,
+            until=end,
+            io_requests=io_requests,
+            syscall_cost=self.config.io_syscall_cpu,
+        )

@@ -1,0 +1,293 @@
+"""Query and stream execution on the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.engine.query import QuerySpec, ScanStep
+from repro.metrics.collector import QueryRecord
+from repro.scans.base import ScanResult
+from repro.scans.shared_scan import SharedTableScan
+from repro.scans.table_scan import TableScan
+
+
+@dataclass
+class StepResult:
+    """Outcome of one scan step: the scan's mechanics plus its values."""
+
+    label: str
+    scan: ScanResult
+    values: object
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query execution."""
+
+    name: str
+    stream_id: int
+    started_at: float
+    finished_at: float
+    steps: List[StepResult] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated end-to-end query time."""
+        return self.finished_at - self.started_at
+
+    @property
+    def pages_scanned(self) -> int:
+        """Total pages visited across steps."""
+        return sum(step.scan.pages_scanned for step in self.steps)
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total CPU charged across steps."""
+        return sum(step.scan.cpu_seconds for step in self.steps)
+
+    @property
+    def throttle_seconds(self) -> float:
+        """Total inserted throttle waits served."""
+        return sum(step.scan.throttle_seconds for step in self.steps)
+
+    @property
+    def values(self) -> Dict[str, object]:
+        """Per-step pipeline results, keyed by step label (or index)."""
+        return {
+            step.label or f"step{index}": step.values
+            for index, step in enumerate(self.steps)
+        }
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one stream (a sequence of queries)."""
+
+    stream_id: int
+    started_at: float
+    finished_at: float
+    queries: List[QueryResult] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Stream duration from its first query start to its last end."""
+        return self.finished_at - self.started_at
+
+
+def execute_query(
+    db: Database, spec: QuerySpec, stream_id: int = 0
+) -> Generator:
+    """Simulation process body for one query; returns a :class:`QueryResult`."""
+    result = QueryResult(
+        name=spec.name, stream_id=stream_id, started_at=db.sim.now, finished_at=0.0
+    )
+    for index, step in enumerate(spec.steps):
+        for repeat in range(step.repeats):
+            step_result = yield from _execute_step(db, step, index)
+            if step.repeats > 1:
+                step_result.label = f"{step_result.label}#{repeat}"
+            result.steps.append(step_result)
+    result.finished_at = db.sim.now
+    db.metrics.record_query(
+        QueryRecord(
+            stream_id=stream_id,
+            query_name=spec.name,
+            started_at=result.started_at,
+            finished_at=result.finished_at,
+            pages_scanned=result.pages_scanned,
+            cpu_seconds=result.cpu_seconds,
+            throttle_seconds=result.throttle_seconds,
+        )
+    )
+    return result
+
+
+def _execute_step(db: Database, step: ScanStep, index: int) -> Generator:
+    if step.via_index:
+        return (yield from _execute_index_step(db, step, index))
+    table = db.catalog.table(step.table)
+    first_page, last_page = step.page_range(table)
+    pipeline = step.build_pipeline(db.cost)
+    # A sharing scan may start mid-range and wrap, so a step that needs
+    # rows in physical order must use the vanilla operator (paper §4.1).
+    if db.sharing_enabled and not step.requires_order:
+        scan = SharedTableScan(
+            db,
+            step.table,
+            first_page,
+            last_page,
+            on_page=pipeline.process_page,
+            estimated_speed=_estimate_scan_speed(db, step, table.schema.rows_per_page),
+            record_visits=db.config.record_page_visits,
+        )
+    else:
+        scan = TableScan(
+            db, step.table, first_page, last_page,
+            on_page=pipeline.process_page,
+            record_visits=db.config.record_page_visits,
+        )
+    scan_result = yield from scan.run()
+    return StepResult(
+        label=step.label or f"step{index}", scan=scan_result, values=pipeline.result()
+    )
+
+
+def _execute_index_step(db: Database, step: ScanStep, index: int) -> Generator:
+    """Run one step as a block-index scan (IXSCAN or SISCAN)."""
+    from repro.extensions.index_sharing.siscan import IndexScan, SharedIndexScan
+    from repro.workloads.tpch_schema import DATE_RANGE_DAYS
+
+    block_index = db.block_index(step.table)
+    table = db.catalog.table(step.table)
+    # Resolve the step's range as a fraction of the index key domain.
+    if step.fraction is not None:
+        lo_frac, hi_frac = step.fraction
+    elif step.cluster_range is not None:
+        cluster = table.schema.clustering_column
+        span = (cluster.high - cluster.low) if cluster else DATE_RANGE_DAYS
+        low = cluster.low if cluster else 0.0
+        lo_frac = min(max((step.cluster_range[0] - low) / span, 0.0), 1.0)
+        hi_frac = min(max((step.cluster_range[1] - low) / span, 0.0), 1.0)
+    else:
+        lo_frac, hi_frac = 0.0, 1.0
+    first_entry, last_entry = block_index.entries_for_key_fraction(lo_frac, hi_frac)
+    pipeline = step.build_pipeline(db.cost)
+    if db.sharing_enabled and not step.requires_order:
+        scan = SharedIndexScan(
+            db, block_index, db.index_sharing_manager(step.table),
+            first_entry, last_entry, on_page=pipeline.process_page,
+        )
+    else:
+        scan = IndexScan(
+            db, block_index, first_entry, last_entry,
+            on_page=pipeline.process_page,
+        )
+    index_result = yield from scan.run()
+    # Adapt the index-scan result to the ScanResult shape steps report.
+    scan_result = ScanResult(
+        table_name=step.table,
+        first_page=0,
+        last_page=table.n_pages - 1,
+        start_page=index_result.start_entry,
+        pages_scanned=index_result.pages_fixed,
+        rows_seen=index_result.pages_fixed * table.schema.rows_per_page,
+        cpu_seconds=index_result.cpu_seconds,
+        throttle_seconds=index_result.throttle_seconds,
+        started_at=index_result.started_at,
+        finished_at=index_result.finished_at,
+    )
+    return StepResult(
+        label=step.label or f"step{index}", scan=scan_result,
+        values=pipeline.result(),
+    )
+
+
+def _estimate_scan_speed(db: Database, step: ScanStep, rows_per_page: int) -> float:
+    """Optimizer-style speed estimate: bounded by CPU or I/O per page."""
+    pipeline = step.build_pipeline(db.cost)
+    cpu_per_page = db.cost.seconds(pipeline.estimated_units_per_page(rows_per_page))
+    io_per_page = db.config.geometry.transfer_time(1)
+    return 1.0 / max(cpu_per_page, io_per_page)
+
+
+def run_stream(
+    db: Database,
+    queries: Sequence[QuerySpec],
+    stream_id: int,
+    start_delay: float = 0.0,
+) -> Generator:
+    """Simulation process body for a stream; returns a :class:`StreamResult`."""
+    if start_delay > 0:
+        yield db.sim.timeout(start_delay)
+    result = StreamResult(
+        stream_id=stream_id, started_at=db.sim.now, finished_at=0.0
+    )
+    for spec in queries:
+        query_result = yield from execute_query(db, spec, stream_id=stream_id)
+        result.queries.append(query_result)
+    result.finished_at = db.sim.now
+    return result
+
+
+@dataclass
+class WorkloadResult:
+    """Everything measured over one multi-stream workload run."""
+
+    streams: List[StreamResult]
+    makespan: float
+    end_time: float
+    pages_read: int
+    physical_requests: int
+    seeks: int
+    buffer_hit_ratio: float
+    throttle_seconds: float
+
+    def stream_elapsed(self, stream_id: int) -> float:
+        """One stream's duration."""
+        for stream in self.streams:
+            if stream.stream_id == stream_id:
+                return stream.elapsed
+        raise KeyError(f"no stream {stream_id}")
+
+    def query_mean_elapsed(self) -> Dict[str, float]:
+        """Mean elapsed time per query template across all streams."""
+        sums: Dict[str, Tuple[float, int]] = {}
+        for stream in self.streams:
+            for query in stream.queries:
+                total, count = sums.get(query.name, (0.0, 0))
+                sums[query.name] = (total + query.elapsed, count + 1)
+        return {name: total / count for name, (total, count) in sums.items()}
+
+
+def run_workload(
+    db: Database,
+    streams: Sequence[Sequence[QuerySpec]],
+    stagger: float = 0.0,
+    stagger_list: Optional[Sequence[float]] = None,
+) -> WorkloadResult:
+    """Run several streams concurrently and drain the simulation.
+
+    ``stagger`` starts stream *i* at ``i * stagger`` seconds;
+    ``stagger_list`` gives explicit per-stream start delays instead.
+    """
+    if stagger_list is not None and len(stagger_list) != len(streams):
+        raise ValueError(
+            f"stagger_list has {len(stagger_list)} entries for {len(streams)} streams"
+        )
+    processes = []
+    for stream_id, queries in enumerate(streams):
+        delay = (
+            stagger_list[stream_id] if stagger_list is not None else stream_id * stagger
+        )
+        processes.append(
+            db.sim.spawn(
+                run_stream(db, queries, stream_id, start_delay=delay),
+                name=f"stream-{stream_id}",
+            )
+        )
+    db.sim.run()
+    stream_results: List[StreamResult] = []
+    for process in processes:
+        if not process.completion.triggered:
+            raise RuntimeError(f"stream process {process.name} never finished")
+        if process.completion.failed:
+            raise process.completion.value
+        stream_results.append(process.completion.value)
+    makespan = (
+        max(s.finished_at for s in stream_results)
+        - min(s.started_at for s in stream_results)
+        if stream_results
+        else 0.0
+    )
+    return WorkloadResult(
+        streams=stream_results,
+        makespan=makespan,
+        end_time=db.sim.now,
+        pages_read=db.disk.stats.pages_read,
+        physical_requests=db.disk.stats.reads,
+        seeks=db.disk.stats.seeks,
+        buffer_hit_ratio=db.pool.stats.hit_ratio,
+        throttle_seconds=db.metrics.total_throttle_seconds(),
+    )

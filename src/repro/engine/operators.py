@@ -1,0 +1,275 @@
+"""Push-based vectorized operators above the scan.
+
+A pipeline is a chain of operators fed one page-batch at a time by the
+scan operator.  Each ``push`` returns the abstract CPU units the batch
+cost, which the scan converts to simulated CPU time — so heavier
+pipelines genuinely slow their scans down in the simulation, which is
+what creates the speed heterogeneity the paper's throttling reacts to.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.costs import CostModel
+from repro.engine.expressions import Expression
+from repro.storage.datagen import PageData
+
+_AGG_FUNCS = ("sum", "count", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate: output name, function, and input expression."""
+
+    name: str
+    func: str
+    expr: Optional[Expression] = None  # None only for count
+
+    def __post_init__(self) -> None:
+        if self.func not in _AGG_FUNCS:
+            raise ValueError(f"unknown aggregate {self.func!r}; known: {_AGG_FUNCS}")
+        if self.func != "count" and self.expr is None:
+            raise ValueError(f"aggregate {self.name!r} ({self.func}) needs an expression")
+
+
+class Operator(ABC):
+    """One stage of a push-based pipeline."""
+
+    def __init__(self, downstream: Optional["Operator"] = None):
+        self.downstream = downstream
+
+    @abstractmethod
+    def push(self, data: PageData, n_rows: int) -> float:
+        """Process a batch; returns abstract CPU units spent (including
+        downstream stages)."""
+
+    def finish(self) -> object:
+        """Finalize and return the pipeline result (terminal ops override)."""
+        if self.downstream is not None:
+            return self.downstream.finish()
+        return None
+
+
+class Filter(Operator):
+    """Predicate evaluation + compaction."""
+
+    def __init__(self, predicate: Expression, downstream: Operator,
+                 cost: CostModel):
+        super().__init__(downstream)
+        self.predicate = predicate
+        self.cost = cost
+        self.rows_in = 0
+        self.rows_out = 0
+
+    def push(self, data: PageData, n_rows: int) -> float:
+        mask = self.predicate.evaluate(data)
+        units = n_rows * self.predicate.cost_units_per_row
+        selected = int(np.count_nonzero(mask))
+        self.rows_in += n_rows
+        self.rows_out += selected
+        if selected == 0:
+            return units
+        if selected == n_rows:
+            filtered = data
+        else:
+            # Compact every column: the rest of the pipeline may touch any
+            # of them, and the per-row compaction cost is charged below.
+            filtered = {name: values[mask] for name, values in data.items()}
+            units += selected * self.cost.filter_compact_units
+        assert self.downstream is not None
+        return units + self.downstream.push(filtered, selected)
+
+    @property
+    def selectivity(self) -> float:
+        """Observed fraction of rows passing the predicate."""
+        if self.rows_in == 0:
+            return 0.0
+        return self.rows_out / self.rows_in
+
+
+class Project(Operator):
+    """Compute named expressions as new columns."""
+
+    def __init__(self, outputs: Dict[str, Expression], downstream: Operator,
+                 cost: CostModel):
+        super().__init__(downstream)
+        self.outputs = outputs
+        self.cost = cost
+
+    def push(self, data: PageData, n_rows: int) -> float:
+        units = 0.0
+        projected = dict(data)
+        for name, expr in self.outputs.items():
+            projected[name] = expr.evaluate(data)
+            units += n_rows * max(expr.cost_units_per_row, 0.5)
+        assert self.downstream is not None
+        return units + self.downstream.push(projected, n_rows)
+
+
+class GroupByAggregate(Operator):
+    """Terminal hash aggregation, optionally grouped.
+
+    Without group columns, the result is a dict of aggregate values.
+    With group columns, the result maps group-key tuples to such dicts.
+    """
+
+    def __init__(self, aggregates: Sequence[AggSpec], cost: CostModel,
+                 group_by: Sequence[str] = ()):
+        super().__init__(None)
+        if not aggregates:
+            raise ValueError("GroupByAggregate needs at least one aggregate")
+        self.aggregates = list(aggregates)
+        self.group_by = list(group_by)
+        self.cost = cost
+        # group key -> accumulator dict; the empty tuple is the global group.
+        self._groups: Dict[Tuple, Dict[str, float]] = {}
+
+    def push(self, data: PageData, n_rows: int) -> float:
+        if n_rows == 0:
+            return 0.0
+        units = n_rows * self.cost.agg_units * len(self.aggregates)
+        # Evaluate aggregate inputs once per batch.
+        inputs: List[Optional[np.ndarray]] = []
+        for agg in self.aggregates:
+            if agg.expr is None:
+                inputs.append(None)
+            else:
+                values = agg.expr.evaluate(data)
+                inputs.append(np.broadcast_to(values, (n_rows,)))
+                units += n_rows * agg.expr.cost_units_per_row
+        if not self.group_by:
+            self._accumulate((), inputs, None, n_rows)
+            return units
+        units += n_rows * self.cost.group_key_units
+        key_columns = [data[name] for name in self.group_by]
+        # Partition rows by composite key.
+        keys = list(zip(*key_columns))
+        order: Dict[Tuple, List[int]] = {}
+        for row_index, key in enumerate(keys):
+            order.setdefault(tuple(key), []).append(row_index)
+        for key, row_indexes in order.items():
+            idx = np.asarray(row_indexes)
+            sliced = [None if arr is None else arr[idx] for arr in inputs]
+            self._accumulate(key, sliced, idx, len(row_indexes))
+        return units
+
+    def _accumulate(
+        self,
+        key: Tuple,
+        inputs: Sequence[Optional[np.ndarray]],
+        idx: Optional[np.ndarray],
+        n_rows: int,
+    ) -> None:
+        acc = self._groups.setdefault(key, {})
+        for agg, values in zip(self.aggregates, inputs):
+            if agg.func == "count":
+                acc[agg.name] = acc.get(agg.name, 0) + n_rows
+                continue
+            assert values is not None
+            if agg.func in ("sum", "avg"):
+                acc[f"{agg.name}__sum"] = acc.get(f"{agg.name}__sum", 0.0) + float(
+                    values.sum()
+                )
+                acc[f"{agg.name}__count"] = acc.get(f"{agg.name}__count", 0) + n_rows
+            elif agg.func == "min":
+                current = acc.get(agg.name)
+                batch_min = float(values.min())
+                acc[agg.name] = batch_min if current is None else min(current, batch_min)
+            elif agg.func == "max":
+                current = acc.get(agg.name)
+                batch_max = float(values.max())
+                acc[agg.name] = batch_max if current is None else max(current, batch_max)
+
+    def finish(self) -> object:
+        results: Dict[Tuple, Dict[str, float]] = {}
+        for key, acc in self._groups.items():
+            out: Dict[str, float] = {}
+            for agg in self.aggregates:
+                if agg.func == "count":
+                    out[agg.name] = acc.get(agg.name, 0)
+                elif agg.func == "sum":
+                    out[agg.name] = acc.get(f"{agg.name}__sum", 0.0)
+                elif agg.func == "avg":
+                    count = acc.get(f"{agg.name}__count", 0)
+                    out[agg.name] = (
+                        acc.get(f"{agg.name}__sum", 0.0) / count if count else 0.0
+                    )
+                else:
+                    out[agg.name] = acc.get(agg.name, 0.0)
+            results[key] = out
+        if not self.group_by:
+            return results.get((), {agg.name: 0 for agg in self.aggregates})
+        return results
+
+
+class RowCounter(Operator):
+    """Terminal operator that just counts rows (cheap sink for tests)."""
+
+    def __init__(self) -> None:
+        super().__init__(None)
+        self.rows = 0
+
+    def push(self, data: PageData, n_rows: int) -> float:
+        self.rows += n_rows
+        return 0.1 * n_rows
+
+    def finish(self) -> object:
+        return self.rows
+
+
+class Pipeline:
+    """A built pipeline: entry operator + cost conversion.
+
+    ``process_page`` is the scan's per-page callback target; it returns
+    simulated CPU seconds.
+    """
+
+    def __init__(self, entry: Operator, cost: CostModel,
+                 extra_units_per_row: float = 0.0):
+        self.entry = entry
+        self.cost = cost
+        self.extra_units_per_row = extra_units_per_row
+        self.pages = 0
+        self.rows = 0
+
+    def process_page(self, page_no: int, data: PageData) -> float:
+        """Push one page; returns CPU seconds to charge."""
+        n_rows = len(next(iter(data.values())))
+        units = self.entry.push(data, n_rows)
+        units += self.cost.per_page_units
+        units += n_rows * self.extra_units_per_row
+        self.pages += 1
+        self.rows += n_rows
+        return self.cost.seconds(units)
+
+    def estimated_units_per_page(self, rows_per_page: int) -> float:
+        """Static cost estimate used for scan-speed estimation."""
+        units = self.cost.per_page_units + rows_per_page * self.extra_units_per_row
+        op: Optional[Operator] = self.entry
+        survivors = float(rows_per_page)
+        while op is not None:
+            if isinstance(op, Filter):
+                units += survivors * op.predicate.cost_units_per_row
+                # Without statistics assume half the rows survive.
+                survivors *= 0.5
+            elif isinstance(op, Project):
+                for expr in op.outputs.values():
+                    units += survivors * max(expr.cost_units_per_row, 0.5)
+            elif isinstance(op, GroupByAggregate):
+                units += survivors * self.cost.agg_units * len(op.aggregates)
+                for agg in op.aggregates:
+                    if agg.expr is not None:
+                        units += survivors * agg.expr.cost_units_per_row
+                if op.group_by:
+                    units += survivors * self.cost.group_key_units
+            op = op.downstream
+        return units
+
+    def result(self) -> object:
+        """Finalize the terminal operator."""
+        return self.entry.finish()

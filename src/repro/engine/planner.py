@@ -1,0 +1,136 @@
+"""Predicate-driven scan planning.
+
+Real optimizers turn a predicate on the clustering column into a
+narrowed physical scan range; that is the mechanism (MDC block-index
+range access) that makes the paper's warehouse queries *range* scans in
+the first place.  This module provides the same derivation for the
+declarative query layer: analyze a predicate, extract the implied
+interval on the table's clustering column, and rewrite the step to scan
+only the matching page range.
+
+Only conjunctive constraints are used (a disjunction can widen the
+range arbitrarily, so OR falls back to the full table — a sound,
+conservative choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.engine.expressions import (
+    Between,
+    BooleanOp,
+    Column,
+    Comparison,
+    Expression,
+    Literal,
+    NotOp,
+)
+from repro.engine.query import QuerySpec, ScanStep
+from repro.storage.catalog import Catalog
+
+#: An interval on the clustering column; None bound = unconstrained.
+Interval = Tuple[Optional[float], Optional[float]]
+
+_UNBOUNDED: Interval = (None, None)
+
+
+def _intersect(a: Interval, b: Interval) -> Interval:
+    low = a[0] if b[0] is None else (b[0] if a[0] is None else max(a[0], b[0]))
+    high = a[1] if b[1] is None else (b[1] if a[1] is None else min(a[1], b[1]))
+    return (low, high)
+
+
+def _literal_value(expr: Expression) -> Optional[float]:
+    if isinstance(expr, Literal) and isinstance(expr.value, (int, float)):
+        return float(expr.value)
+    return None
+
+
+def extract_cluster_interval(
+    predicate: Optional[Expression], column_name: str
+) -> Interval:
+    """The interval the predicate implies on ``column_name``.
+
+    Returns ``(low, high)`` where either side may be None (unbounded).
+    Sound but not complete: anything not recognized contributes no
+    constraint.
+    """
+    if predicate is None:
+        return _UNBOUNDED
+    if isinstance(predicate, BooleanOp):
+        if predicate.op == "and":
+            return _intersect(
+                extract_cluster_interval(predicate.left, column_name),
+                extract_cluster_interval(predicate.right, column_name),
+            )
+        return _UNBOUNDED  # OR: conservatively unconstrained
+    if isinstance(predicate, NotOp):
+        return _UNBOUNDED
+    if isinstance(predicate, Between) and isinstance(predicate.operand, Column):
+        if predicate.operand.name == column_name:
+            try:
+                return (float(predicate.low), float(predicate.high))
+            except (TypeError, ValueError):
+                return _UNBOUNDED
+        return _UNBOUNDED
+    if isinstance(predicate, Comparison):
+        column, value, op = _normalize_comparison(predicate, column_name)
+        if column is None:
+            return _UNBOUNDED
+        if op in ("<", "<="):
+            return (None, value)
+        if op in (">", ">="):
+            return (value, None)
+        if op == "==":
+            return (value, value)
+        return _UNBOUNDED
+    return _UNBOUNDED
+
+
+def _normalize_comparison(comparison: Comparison, column_name: str):
+    """Orient ``column OP literal``; returns (column, value, op) or Nones."""
+    left, right = comparison.left, comparison.right
+    if isinstance(left, Column) and left.name == column_name:
+        value = _literal_value(right)
+        if value is not None:
+            return left, value, comparison.op
+    if isinstance(right, Column) and right.name == column_name:
+        value = _literal_value(left)
+        if value is not None:
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                       "==": "==", "!=": "!="}
+            return right, value, flipped[comparison.op]
+    return None, None, None
+
+
+def plan_step(step: ScanStep, catalog: Catalog) -> ScanStep:
+    """Narrow a step's scan range from its predicate, when possible.
+
+    A step that already carries an explicit range (or whose table has no
+    clustering column, or whose predicate does not constrain it) is
+    returned unchanged.
+    """
+    if step.cluster_range is not None or step.fraction is not None:
+        return step
+    table = catalog.table(step.table)
+    cluster = table.schema.clustering_column
+    if cluster is None or step.predicate is None:
+        return step
+    low, high = extract_cluster_interval(step.predicate, cluster.name)
+    if low is None and high is None:
+        return step
+    resolved_low = cluster.low if low is None else max(low, cluster.low)
+    resolved_high = cluster.high if high is None else min(high, cluster.high)
+    if resolved_high < resolved_low:
+        # Contradictory predicate: scan the smallest possible range; the
+        # filter will reject every row.
+        resolved_high = resolved_low
+    return replace(step, cluster_range=(resolved_low, resolved_high))
+
+
+def plan_query(spec: QuerySpec, catalog: Catalog) -> QuerySpec:
+    """Apply :func:`plan_step` to every step of a query."""
+    planned = tuple(plan_step(step, catalog) for step in spec.steps)
+    return replace(spec, steps=planned)

@@ -1,0 +1,115 @@
+"""Declarative query specifications.
+
+A :class:`QuerySpec` is a named sequence of :class:`ScanStep` objects.
+Each step scans one table range through a filter/aggregate pipeline;
+steps run back to back (modelling the pipelined phases of a multi-table
+plan — e.g. a hash join's build scan followed by its probe scan).  The
+sharing mechanism operates entirely at the scan level, so this step
+model preserves exactly the workload property the paper exploits: which
+table ranges are being scanned concurrently, at which speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.engine.costs import CostModel
+from repro.engine.expressions import Expression
+from repro.engine.operators import AggSpec, Filter, GroupByAggregate, Pipeline
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ScanStep:
+    """One table-range scan with its processing pipeline.
+
+    Exactly one of ``cluster_range`` / ``fraction`` may be given;
+    neither means a full-table scan.
+
+    Attributes:
+        table: Table to scan.
+        cluster_range: (low, high) values on the table's clustering
+            column; translated to a contiguous page range.
+        fraction: (lo, hi) fractional slice of the table's pages.
+        predicate: Row filter applied per page.
+        aggregates: Aggregates computed over surviving rows.
+        group_by: Grouping columns for the aggregates.
+        extra_units_per_row: Extra CPU units per input row, modelling
+            work above the scan that the step model folds in (join
+            probing, sorting, expression-heavy projection).
+        requires_order: The plan above needs rows in physical (key)
+            order.  A sharing scan may start mid-range and wrap, breaking
+            that order, so an order-requiring step always runs as a plain
+            scan even when sharing is enabled (the paper's rule that
+            ordered plans must keep the vanilla operator).
+        label: Step name used in per-step results.
+    """
+
+    table: str
+    cluster_range: Optional[Tuple[float, float]] = None
+    fraction: Optional[Tuple[float, float]] = None
+    predicate: Optional[Expression] = None
+    aggregates: Tuple[AggSpec, ...] = ()
+    group_by: Tuple[str, ...] = ()
+    extra_units_per_row: float = 0.0
+    requires_order: bool = False
+    #: Access the table through its MDC-style block index (requires
+    #: ``Database.create_block_index`` on the table).  Ranges then select
+    #: *index-key* slices: entries are visited in key order, which on a
+    #: scattered index is a non-sequential page pattern — the index-scan
+    #: sharing (SISCAN) machinery coordinates these scans.
+    via_index: bool = False
+    #: Execute the scan this many times back to back — the inner of a
+    #: nested-loop join re-scans its range once per outer batch, which is
+    #: exactly the repeated-scan case the paper's last-finished placement
+    #: (and the sequel's "scan D in the future") exploits.
+    repeats: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cluster_range is not None and self.fraction is not None:
+            raise ValueError(
+                f"step on {self.table!r}: give cluster_range or fraction, not both"
+            )
+        if self.repeats < 1:
+            raise ValueError(
+                f"step on {self.table!r}: repeats must be >= 1, got {self.repeats}"
+            )
+
+    def page_range(self, table: Table) -> Tuple[int, int]:
+        """Resolve this step's inclusive page range on ``table``."""
+        if table.name != self.table:
+            raise ValueError(f"step is on {self.table!r}, got table {table.name!r}")
+        if self.cluster_range is not None:
+            return table.pages_for_cluster_range(*self.cluster_range)
+        if self.fraction is not None:
+            return table.pages_for_fraction(*self.fraction)
+        return (0, table.n_pages - 1)
+
+    def build_pipeline(self, cost: CostModel) -> Pipeline:
+        """Construct a fresh pipeline for one execution of this step."""
+        aggregates = self.aggregates or (AggSpec("rows", "count"),)
+        terminal = GroupByAggregate(aggregates, cost, group_by=self.group_by)
+        if self.predicate is not None:
+            entry = Filter(self.predicate, terminal, cost)
+        else:
+            entry = terminal
+        return Pipeline(entry, cost, extra_units_per_row=self.extra_units_per_row)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A named query: an ordered sequence of scan steps."""
+
+    name: str
+    steps: Tuple[ScanStep, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError(f"query {self.name!r} needs at least one step")
+
+    @property
+    def tables(self) -> Tuple[str, ...]:
+        """Tables touched, in step order."""
+        return tuple(step.table for step in self.steps)

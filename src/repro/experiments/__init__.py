@@ -1,0 +1,59 @@
+"""Experiment harness: one function per paper table/figure.
+
+Each experiment builds matched "Base" (vanilla) and "SS" (scan sharing)
+database instances, runs the same workload on both, and returns a typed
+result object whose ``render()`` reproduces the corresponding table or
+figure as text.  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments.harness import (
+    Comparison,
+    ExperimentSettings,
+    ModeResult,
+    compare_modes,
+    run_mode,
+)
+from repro.experiments.experiments import (
+    ablation_bufferpool_sweep,
+    ablation_disk_array,
+    ablation_disk_scheduler,
+    ablation_fairness_cap,
+    ablation_policies,
+    ablation_priority,
+    ablation_threshold,
+    ablation_throttling,
+    e1_overhead,
+    e2_staggered_q6,
+    e3_staggered_q1,
+    e4_throughput,
+    e5_reads_timeline,
+    e6_seeks_timeline,
+    e7_per_stream,
+    e8_per_query,
+    e9_stream_scaling,
+)
+
+__all__ = [
+    "Comparison",
+    "ExperimentSettings",
+    "ModeResult",
+    "ablation_bufferpool_sweep",
+    "ablation_disk_array",
+    "ablation_disk_scheduler",
+    "ablation_fairness_cap",
+    "ablation_policies",
+    "ablation_priority",
+    "ablation_threshold",
+    "ablation_throttling",
+    "compare_modes",
+    "e1_overhead",
+    "e2_staggered_q6",
+    "e3_staggered_q1",
+    "e4_throughput",
+    "e5_reads_timeline",
+    "e6_seeks_timeline",
+    "e7_per_stream",
+    "e8_per_query",
+    "e9_stream_scaling",
+    "run_mode",
+]

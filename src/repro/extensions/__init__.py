@@ -1,0 +1,9 @@
+"""Extensions beyond the target paper.
+
+``index_sharing`` implements the ICDE 2007 paper's stated future work —
+sharing for *index-based* scans — following the design its authors
+published a few months later (VLDB 2007): SISCAN operators with
+anchor/offset location tracking, anchor groups, and sharing-potential
+placement over block indexes whose block ids are not laid out in key
+order.
+"""

@@ -1,0 +1,44 @@
+"""Index-scan sharing (the SISCAN design, future work of the target paper).
+
+Why index scans are harder than table scans (and why this package
+exists): a table scan's location is a page number, so the distance
+between two scans is plain arithmetic.  An index scan's location is a
+*key position*, and the block/row ids it visits are in no particular
+page order — two scans' distance in scan order cannot be computed from
+their current pages.  The SISCAN design solves this with **anchors**:
+every scan remembers a fixed reference location plus the number of
+entries it has advanced since (its *offset*); scans that share an anchor
+are mutually ordered, forming **anchor groups** within which the
+grouping / throttling / prioritization machinery of the table-scan paper
+applies unchanged.
+
+Public pieces:
+
+* :class:`~repro.extensions.index_sharing.index.BlockIndex` — a simulated
+  MDC-style block index whose entries are key-ordered but whose blocks
+  are scattered across the table;
+* :class:`~repro.extensions.index_sharing.manager.IndexScanSharingManager`
+  (the ISM) — anchors/offsets, anchor groups, placement by estimated
+  page reads, throttling, page priorities;
+* :class:`~repro.extensions.index_sharing.siscan.SharedIndexScan` — the
+  SISCAN operator (two-phase wrap-around traversal in key order), and
+  :class:`~repro.extensions.index_sharing.siscan.IndexScan` — the plain
+  IXSCAN baseline.
+"""
+
+from repro.extensions.index_sharing.index import BlockIndex
+from repro.extensions.index_sharing.manager import (
+    IndexScanDescriptor,
+    IndexScanSharingManager,
+    IndexScanState,
+)
+from repro.extensions.index_sharing.siscan import IndexScan, SharedIndexScan
+
+__all__ = [
+    "BlockIndex",
+    "IndexScan",
+    "IndexScanDescriptor",
+    "IndexScanSharingManager",
+    "IndexScanState",
+    "SharedIndexScan",
+]

@@ -1,0 +1,107 @@
+"""A simulated MDC-style block index.
+
+Each entry pairs a key position with a **block** — a contiguous run of
+pages holding rows of that key value.  Entries are stored in key order,
+but the blocks they point to are scattered across the table (the result
+of out-of-order inserts), so an index scan in key order produces a
+*non-sequential* page access pattern: the exact situation where the
+distance between two index scans cannot be inferred from their current
+page numbers, motivating anchors and offsets.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.storage.table import Table
+
+
+class BlockIndex:
+    """Key-ordered index over a table's blocks, with scattered placement.
+
+    Args:
+        table: The indexed table.
+        block_size_pages: Pages per block (the MDC block size; the
+            prototype used 16 pages of 32 KiB).
+        scatter_seed: Seed for the deterministic block permutation.  With
+            ``scatter=False`` the index degenerates to a clustered index
+            (blocks in key order), useful in tests.
+    """
+
+    def __init__(self, table: Table, block_size_pages: int = 16,
+                 scatter: bool = True, scatter_seed: int = 0):
+        if block_size_pages < 1:
+            raise ValueError(
+                f"block_size_pages must be >= 1, got {block_size_pages}"
+            )
+        self.table = table
+        self.block_size_pages = block_size_pages
+        self.n_blocks = (table.n_pages + block_size_pages - 1) // block_size_pages
+        order = np.arange(self.n_blocks)
+        if scatter:
+            rng = np.random.default_rng(
+                zlib.crc32(f"{table.name}:{scatter_seed}".encode())
+            )
+            rng.shuffle(order)
+        # _block_of[i] = block id of the i-th entry in key order.
+        self._block_of: List[int] = [int(b) for b in order]
+
+    @property
+    def n_entries(self) -> int:
+        """Number of index entries (== number of blocks)."""
+        return self.n_blocks
+
+    def block_of_entry(self, entry_index: int) -> int:
+        """Block id the ``entry_index``-th key points to."""
+        if not 0 <= entry_index < self.n_entries:
+            raise IndexError(
+                f"entry {entry_index} out of range for index of "
+                f"{self.n_entries} entries"
+            )
+        return self._block_of[entry_index]
+
+    def block_pages(self, block_id: int) -> List[int]:
+        """Table page numbers making up one block."""
+        if not 0 <= block_id < self.n_blocks:
+            raise IndexError(
+                f"block {block_id} out of range for {self.n_blocks} blocks"
+            )
+        start = block_id * self.block_size_pages
+        end = min(start + self.block_size_pages, self.table.n_pages)
+        return list(range(start, end))
+
+    def entries(self, first_entry: int, last_entry: int) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(entry_index, block_id)`` over an inclusive key range."""
+        if not 0 <= first_entry <= last_entry < self.n_entries:
+            raise IndexError(
+                f"entry range [{first_entry}, {last_entry}] invalid for "
+                f"{self.n_entries} entries"
+            )
+        for entry_index in range(first_entry, last_entry + 1):
+            yield entry_index, self._block_of[entry_index]
+
+    def entries_for_key_fraction(self, lo_frac: float, hi_frac: float) -> Tuple[int, int]:
+        """Entry range covering a fractional slice of the key domain."""
+        if not (0.0 <= lo_frac <= hi_frac <= 1.0):
+            raise ValueError(f"bad key fraction range [{lo_frac}, {hi_frac}]")
+        first = min(int(lo_frac * self.n_entries), self.n_entries - 1)
+        last = min(
+            max(first, int(hi_frac * self.n_entries + 0.999999) - 1),
+            self.n_entries - 1,
+        )
+        return first, last
+
+    def scatter_factor(self) -> float:
+        """Fraction of adjacent entry pairs whose blocks are non-adjacent
+        on disk (1.0 = fully scattered; 0.0 = clustered)."""
+        if self.n_entries < 2:
+            return 0.0
+        non_adjacent = sum(
+            1
+            for i in range(self.n_entries - 1)
+            if self._block_of[i + 1] != self._block_of[i] + 1
+        )
+        return non_adjacent / (self.n_entries - 1)

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def percent_gain(base: float, improved: float) -> float:
+    """Percentage improvement of ``improved`` over ``base`` (positive = better).
+
+    Matches the paper's convention: a run that takes 79 s against a 100 s
+    baseline is a 21 % gain.
+    """
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - improved) / base
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {columns} columns: {row!r}"
+            )
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    lines = [
+        "  ".join(str(headers[i]).ljust(widths[i]) for i in range(columns)),
+        "  ".join("-" * widths[i] for i in range(columns)),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_series(label: str, values: Sequence[float], width: int = 50) -> str:
+    """Render a numeric series as a one-line-per-bucket ASCII bar chart."""
+    if not values:
+        return f"{label}: (empty)"
+    peak = max(values) or 1.0
+    lines = [f"{label}:"]
+    for index, value in enumerate(values):
+        bar = "#" * max(0, int(width * value / peak))
+        lines.append(f"  [{index:3d}] {value:12.2f} {bar}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

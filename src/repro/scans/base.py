@@ -1,0 +1,45 @@
+"""Shared plumbing for scan operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+
+@dataclass
+class ScanResult:
+    """What a finished scan reports back to its query."""
+
+    table_name: str
+    first_page: int
+    last_page: int
+    start_page: int
+    pages_scanned: int = 0
+    rows_seen: int = 0
+    cpu_seconds: float = 0.0
+    throttle_seconds: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    visited_pages: List[int] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock (simulated) scan duration."""
+        return self.finished_at - self.started_at
+
+
+def scan_order(first_page: int, last_page: int, start_page: int) -> Iterator[int]:
+    """Page visit order for a wrap-around scan of ``[first, last]``.
+
+    Phase one runs from ``start_page`` to ``last_page``; phase two wraps
+    to ``first_page`` and stops just before ``start_page`` — the paper's
+    two back-to-back scans over adjacent ranges.
+    """
+    if not first_page <= start_page <= last_page:
+        raise ValueError(
+            f"start page {start_page} outside range [{first_page}, {last_page}]"
+        )
+    for page in range(start_page, last_page + 1):
+        yield page
+    for page in range(first_page, start_page):
+        yield page

@@ -1,0 +1,125 @@
+"""The sharing table scan operator — the paper's modified scan logic.
+
+Differences from the vanilla :class:`~repro.scans.table_scan.TableScan`
+(the bold lines of the paper's pseudo-code):
+
+1. it registers with the scan sharing manager, which may place its start
+   *inside* the range (it then wraps around);
+2. every ``update_interval_pages`` pages it reports its location — the
+   manager may answer with a throttle wait, which the scan serves before
+   continuing (the call "simply appears to take a longer time");
+3. each page is released with the manager-chosen priority instead of a
+   fixed one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.core.scan_state import ScanDescriptor
+from repro.scans.base import ScanResult, scan_order
+from repro.scans.table_scan import OnPage
+
+
+class SharedTableScan:
+    """Wrap-around scan coordinated by the scan sharing manager."""
+
+    def __init__(
+        self,
+        database: Any,
+        table_name: str,
+        first_page: int,
+        last_page: int,
+        on_page: OnPage,
+        estimated_speed: Optional[float] = None,
+        record_visits: bool = False,
+    ):
+        self.db = database
+        self.table = database.catalog.table(table_name)
+        if not 0 <= first_page <= last_page < self.table.n_pages:
+            raise ValueError(
+                f"bad scan range [{first_page}, {last_page}] on table "
+                f"{table_name!r} of {self.table.n_pages} pages"
+            )
+        self.first_page = first_page
+        self.last_page = last_page
+        self.on_page = on_page
+        self.record_visits = record_visits
+        self.estimated_speed = estimated_speed or database.default_scan_speed_estimate(
+            table_name
+        )
+
+    def run(self) -> Generator:
+        """Simulation process body; returns a :class:`ScanResult`."""
+        db = self.db
+        manager = db.sharing
+        descriptor = ScanDescriptor(
+            table_name=self.table.name,
+            first_page=self.first_page,
+            last_page=self.last_page,
+            estimated_speed=self.estimated_speed,
+        )
+        state = manager.start_scan(descriptor)
+        yield from db.charge_manager_call_overhead()
+        result = ScanResult(
+            table_name=self.table.name,
+            first_page=self.first_page,
+            last_page=self.last_page,
+            start_page=state.start_page,
+            started_at=db.sim.now,
+        )
+        interval = manager.config.update_interval_pages
+        pages_done = 0
+        try:
+            for page_no in scan_order(self.first_page, self.last_page, state.start_page):
+                yield from self._process_page(page_no, state.scan_id, result)
+                pages_done += 1
+                if pages_done % interval == 0:
+                    yield from self._report_location(state.scan_id, pages_done, result)
+            if pages_done % interval != 0:
+                yield from self._report_location(state.scan_id, pages_done, result)
+        finally:
+            manager.end_scan(state.scan_id)
+        result.finished_at = db.sim.now
+        return result
+
+    def _process_page(self, page_no: int, scan_id: int, result: ScanResult) -> Generator:
+        db = self.db
+        key = db.catalog.page_key(self.table.name, page_no)
+        prefetch = self._prefetch_run(page_no)
+        frame = yield from db.pool.fix(key, prefetch=prefetch)
+        assert frame.key == key
+        try:
+            data = self.table.page_data(page_no)
+            cpu_seconds = self.on_page(page_no, data)
+            if cpu_seconds > 0:
+                yield db.cpu.acquire()
+                try:
+                    yield db.sim.timeout(cpu_seconds)
+                finally:
+                    db.cpu.release()
+        finally:
+            # Never leak a pin, even when page processing raises.
+            db.pool.unfix(key, db.sharing.page_priority(scan_id))
+        result.pages_scanned += 1
+        result.rows_seen += self.table.schema.rows_per_page
+        result.cpu_seconds += cpu_seconds
+        if self.record_visits:
+            result.visited_pages.append(page_no)
+
+    def _report_location(
+        self, scan_id: int, pages_done: int, result: ScanResult
+    ) -> Generator:
+        db = self.db
+        wait = db.sharing.update_location(scan_id, pages_done)
+        yield from db.charge_manager_call_overhead()
+        if wait > 0:
+            result.throttle_seconds += wait
+            yield db.sim.timeout(wait)
+
+    def _prefetch_run(self, page_no: int) -> List:
+        extent_no = self.table.extent_of(page_no)
+        pages = self.table.extent_pages(extent_no)
+        catalog = self.db.catalog
+        name = self.table.name
+        return [catalog.page_key(name, page) for page in pages]

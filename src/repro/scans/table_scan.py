@@ -1,0 +1,102 @@
+"""The vanilla table scan operator (the paper's "Base" configuration)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.buffer.page import Priority
+from repro.scans.base import ScanResult
+from repro.storage.datagen import PageData
+
+OnPage = Callable[[int, PageData], float]
+
+
+class TableScan:
+    """Sequential scan of a page range with fixed release priority.
+
+    Mirrors the paper's IXSCAN-analog for tables: loop over the range in
+    order, perform per-page work, release each page with a fixed
+    priority.  No sharing-manager interaction whatsoever.
+
+    Args:
+        database: Execution context exposing ``sim``, ``pool``, ``cpu``,
+            ``catalog`` (duck-typed; see :class:`repro.engine.database.Database`).
+        table_name: Table to scan.
+        first_page / last_page: Inclusive page range.
+        on_page: Callback invoked with ``(page_no, page_data)``; returns
+            the CPU seconds to charge for processing that page.
+        record_visits: Keep the visited page order in the result (tests).
+    """
+
+    def __init__(
+        self,
+        database: Any,
+        table_name: str,
+        first_page: int,
+        last_page: int,
+        on_page: OnPage,
+        record_visits: bool = False,
+    ):
+        self.db = database
+        self.table = database.catalog.table(table_name)
+        if not 0 <= first_page <= last_page < self.table.n_pages:
+            raise ValueError(
+                f"bad scan range [{first_page}, {last_page}] on table "
+                f"{table_name!r} of {self.table.n_pages} pages"
+            )
+        self.first_page = first_page
+        self.last_page = last_page
+        self.on_page = on_page
+        self.record_visits = record_visits
+
+    def run(self) -> Generator:
+        """Simulation process body; returns a :class:`ScanResult`."""
+        db = self.db
+        result = ScanResult(
+            table_name=self.table.name,
+            first_page=self.first_page,
+            last_page=self.last_page,
+            start_page=self.first_page,
+            started_at=db.sim.now,
+        )
+        for page_no in range(self.first_page, self.last_page + 1):
+            yield from self._process_page(page_no, result)
+        result.finished_at = db.sim.now
+        return result
+
+    def _process_page(self, page_no: int, result: ScanResult) -> Generator:
+        db = self.db
+        key = db.catalog.page_key(self.table.name, page_no)
+        prefetch = self._prefetch_run(page_no)
+        frame = yield from db.pool.fix(key, prefetch=prefetch)
+        assert frame.key == key
+        try:
+            data = self.table.page_data(page_no)
+            cpu_seconds = self.on_page(page_no, data)
+            if cpu_seconds > 0:
+                yield db.cpu.acquire()
+                try:
+                    yield db.sim.timeout(cpu_seconds)
+                finally:
+                    db.cpu.release()
+        finally:
+            # Never leak a pin, even when page processing raises.
+            db.pool.unfix(key, self._release_priority())
+        result.pages_scanned += 1
+        result.rows_seen += self.table.schema.rows_per_page
+        result.cpu_seconds += cpu_seconds
+        if self.record_visits:
+            result.visited_pages.append(page_no)
+
+    def _release_priority(self) -> Priority:
+        return Priority.NORMAL
+
+    def _prefetch_run(self, page_no: int) -> Optional[list]:
+        extent_no = self.table.extent_of(page_no)
+        pages = self.table.extent_pages(extent_no)
+        return [db_key for db_key in self._keys(pages)]
+
+    def _keys(self, pages: list) -> list:
+        catalog = self.db.catalog
+        name = self.table.name
+        return [catalog.page_key(name, page) for page in pages]

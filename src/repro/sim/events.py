@@ -1,0 +1,130 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.  It
+starts *pending*, and is later *triggered* exactly once with either a value
+(:meth:`Event.succeed`) or an exception (:meth:`Event.fail`).  Callbacks
+registered on a pending event run when it triggers; callbacks added after
+triggering are scheduled immediately at the current simulation time.
+
+The :class:`EventQueue` is a deterministic priority queue of ``(time, seq)``
+ordered callbacks used internally by the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The interrupting party supplies a ``cause`` that the interrupted
+    process can inspect (for example, a throttle-release notification).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that simulation processes can wait on."""
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_is_error")
+
+    def __init__(self, sim: "Any"):
+        self.sim = sim
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._is_error = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already occurred."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with (or the stored exception)."""
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    @property
+    def failed(self) -> bool:
+        """Whether the event was triggered via :meth:`fail`."""
+        return self._triggered and self._is_error
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(self)`` when the event triggers.
+
+        If the event already triggered, the callback is scheduled to run
+        at the current simulation time (preserving run-to-completion
+        semantics rather than invoking it re-entrantly).
+        """
+        if self._triggered:
+            self.sim.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        self._trigger(value, is_error=False)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception, raised in each waiter."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail requires an exception instance")
+        self._trigger(exception, is_error=True)
+        return self
+
+    def _trigger(self, value: Any, is_error: bool) -> None:
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self._is_error = is_error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, lambda cb=callback: cb(self))
+
+
+class EventQueue:
+    """Deterministic time-ordered callback queue.
+
+    Entries are ordered by ``(time, sequence_number)`` so that callbacks
+    scheduled for the same instant run in insertion order, which makes
+    every simulation fully reproducible.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute simulation ``time``."""
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next scheduled callback, if any."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Tuple[float, Callable[[], None]]:
+        """Remove and return ``(time, callback)`` for the next entry."""
+        time, _seq, callback = heapq.heappop(self._heap)
+        return time, callback

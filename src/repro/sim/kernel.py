@@ -1,0 +1,123 @@
+"""The simulator: clock + event loop + process spawning."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.events import Event, EventQueue, SimulationError
+from repro.sim.process import Process
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(1.5)
+            return "done"
+
+        proc = sim.spawn(worker(sim), name="worker")
+        sim.run()
+        assert sim.now == 1.5
+        assert proc.completion.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._queue.push(self._now + delay, callback)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """Return an event that succeeds ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        ev = Event(self)
+        self._queue.push(self._now + delay, lambda: ev.succeed(value))
+        return ev
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator`` at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> Event:
+        """Return an event that succeeds once every event in ``events`` has.
+
+        The combined event's value is the list of individual values, in the
+        order given.  If any constituent fails, the combined event fails
+        with the first failure.
+        """
+        combined = Event(self)
+        remaining = {"count": len(events)}
+        if remaining["count"] == 0:
+            combined.succeed([])
+            return combined
+
+        def on_done(_event: Event) -> None:
+            if combined.triggered:
+                return
+            if _event.failed:
+                combined.fail(_event.value)
+                return
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                combined.succeed([ev.value for ev in events])
+
+        for ev in events:
+            ev.add_callback(on_done)
+        return combined
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the event loop.
+
+        Processes callbacks in time order until the queue drains, or until
+        simulated time would exceed ``until`` (the clock is then advanced
+        to exactly ``until``).  Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run called re-entrantly")
+        self._running = True
+        try:
+            while len(self._queue):
+                next_time = self._queue.peek_time()
+                assert next_time is not None
+                if until is not None and next_time > until:
+                    self._now = until
+                    return self._now
+                time, callback = self._queue.pop()
+                if time < self._now - 1e-12:
+                    raise SimulationError(
+                        f"event queue time went backwards: {time} < {self._now}"
+                    )
+                self._now = max(self._now, time)
+                callback()
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,21 @@
+"""Storage layer: schemas, tables, deterministic page data, tablespaces.
+
+Tables are extent-organized collections of fixed-occupancy pages mapped
+onto contiguous disk address ranges by a :class:`~repro.storage.tablespace.Tablespace`.
+Page *contents* are generated deterministically from ``(seed, table,
+page_no)`` on demand — the simulation never stores the 100 GB TPC-H data,
+yet every query computes real aggregate values that are bit-identical
+across runs and across sharing modes, which is what the correctness tests
+lean on.
+
+Clustered columns are generated monotonically across the page sequence,
+which models the physical clustering (MDC-style) that makes the paper's
+range scans contiguous page ranges.
+"""
+
+from repro.storage.schema import ColumnSpec, TableSchema
+from repro.storage.table import Table
+from repro.storage.tablespace import Tablespace
+from repro.storage.catalog import Catalog
+
+__all__ = ["Catalog", "ColumnSpec", "Table", "TableSchema", "Tablespace"]

@@ -1,0 +1,73 @@
+"""Catalog: the named collection of tables behind one tablespace."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.buffer.page import PageKey
+from repro.storage.table import Table
+from repro.storage.tablespace import Tablespace
+
+
+class Catalog:
+    """Registry of tables with their tablespace placement."""
+
+    def __init__(self, tablespace: Tablespace):
+        self.tablespace = tablespace
+        self._tables: Dict[str, Table] = {}
+        self._by_space: Dict[int, Table] = {}
+
+    def create_table(self, table: Table) -> Table:
+        """Register a table and allocate its disk range."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        space_id = self.tablespace.allocate(table.n_pages)
+        table.space_id = space_id
+        self._tables[table.name] = table
+        self._by_space[space_id] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table named {name!r}; known tables: {sorted(self._tables)}"
+            ) from None
+
+    def table_of_space(self, space_id: int) -> Table:
+        """Look up a table by its tablespace id."""
+        try:
+            return self._by_space[space_id]
+        except KeyError:
+            raise KeyError(f"no table in space {space_id}") from None
+
+    def page_key(self, table_name: str, page_no: int) -> PageKey:
+        """Page key for a table page."""
+        table = self.table(table_name)
+        if not 0 <= page_no < table.n_pages:
+            raise IndexError(
+                f"page {page_no} out of range for table {table_name!r} "
+                f"of {table.n_pages} pages"
+            )
+        return PageKey(table.space_id, page_no)
+
+    def address_of(self, key: PageKey) -> int:
+        """Disk address of a page key (pool adapter)."""
+        return self.tablespace.address_of(key)
+
+    @property
+    def total_pages(self) -> int:
+        """Sum of page counts over all tables (the 'database size')."""
+        return sum(table.n_pages for table in self._tables.values())
+
+    def table_names(self) -> List[str]:
+        """All table names, sorted."""
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

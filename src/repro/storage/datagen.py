@@ -1,0 +1,96 @@
+"""Deterministic per-page column data generation.
+
+Every page's contents are a pure function of ``(seed, table_name,
+page_no)`` so the dataset never needs to be materialized: a page is
+regenerated identically whether it is read once or a thousand times, on
+any run, under any sharing mode.  That property turns query results into
+an end-to-end correctness oracle for the whole engine.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+from repro.storage.schema import ColumnSpec, TableSchema
+
+PageData = Dict[str, np.ndarray]
+
+
+def _page_rng(seed: int, table_name: str, page_no: int) -> np.random.Generator:
+    """A generator whose stream is unique per (seed, table, page)."""
+    tag = f"{seed}:{table_name}:{page_no}".encode()
+    return np.random.default_rng(zlib.crc32(tag))
+
+
+def generate_column(
+    column: ColumnSpec,
+    rng: np.random.Generator,
+    page_no: int,
+    rows_per_page: int,
+    total_pages: int,
+) -> np.ndarray:
+    """Generate one page's worth of values for ``column``."""
+    n = rows_per_page
+    if column.kind == "int_uniform":
+        return rng.integers(int(column.low), int(column.high) + 1, size=n)
+    if column.kind == "float_uniform":
+        return rng.uniform(column.low, column.high, size=n)
+    if column.kind == "choice":
+        indexes = rng.integers(0, len(column.categories), size=n)
+        return np.asarray(column.categories, dtype=object)[indexes]
+    if column.kind == "sequence":
+        start = page_no * rows_per_page
+        return np.arange(start, start + n, dtype=np.int64)
+    if column.kind == "clustered":
+        # Monotone across the table: page p covers an equal slice of
+        # [low, high]; within the page, values are sorted uniforms in the
+        # slice, so the whole column is globally non-decreasing.
+        span = column.high - column.low
+        slice_lo = column.low + span * (page_no / total_pages)
+        slice_hi = column.low + span * ((page_no + 1) / total_pages)
+        values = rng.uniform(slice_lo, slice_hi, size=n)
+        values.sort()
+        return values
+    raise AssertionError(f"unreachable column kind {column.kind!r}")
+
+
+class PageGenerator:
+    """Caching generator of page contents for one table."""
+
+    def __init__(self, schema: TableSchema, total_pages: int, seed: int,
+                 cache_pages: int = 128):
+        if total_pages < 1:
+            raise ValueError(f"table needs at least one page, got {total_pages}")
+        self.schema = schema
+        self.total_pages = total_pages
+        self.seed = seed
+        self._cache: Dict[int, PageData] = {}
+        self._cache_order: list = []
+        self._cache_pages = cache_pages
+
+    def page(self, page_no: int) -> PageData:
+        """Column arrays for one page (cached)."""
+        if not 0 <= page_no < self.total_pages:
+            raise IndexError(
+                f"page {page_no} out of range for table {self.schema.name!r} "
+                f"of {self.total_pages} pages"
+            )
+        cached = self._cache.get(page_no)
+        if cached is not None:
+            return cached
+        rng = _page_rng(self.seed, self.schema.name, page_no)
+        data = {
+            column.name: generate_column(
+                column, rng, page_no, self.schema.rows_per_page, self.total_pages
+            )
+            for column in self.schema.columns
+        }
+        self._cache[page_no] = data
+        self._cache_order.append(page_no)
+        if len(self._cache_order) > self._cache_pages:
+            evicted = self._cache_order.pop(0)
+            self._cache.pop(evicted, None)
+        return data

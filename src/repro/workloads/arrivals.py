@@ -1,0 +1,85 @@
+"""Open-system workloads: stochastic query arrivals.
+
+TPC-H's throughput test is a *closed* system (a fixed set of streams);
+the paper's motivating warehouse is an *open* one — analysts fire
+queries whenever they like.  This module generates open workloads:
+Poisson query arrivals over a time horizon, each arrival drawing a
+query template (optionally hotspot-biased), rendered as single-query
+streams with explicit start delays so they plug straight into
+:func:`repro.engine.executor.run_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.query import QuerySpec
+from repro.workloads.tpch_queries import QUERY_FACTORIES
+
+
+@dataclass(frozen=True)
+class ArrivalPlan:
+    """A generated open workload: queries with their arrival times."""
+
+    queries: List[QuerySpec]
+    arrival_times: List[float]
+
+    def as_streams(self) -> Tuple[List[List[QuerySpec]], List[float]]:
+        """``(streams, stagger_list)`` for :func:`run_workload`."""
+        return [[query] for query in self.queries], list(self.arrival_times)
+
+    @property
+    def n_arrivals(self) -> int:
+        """Number of arrivals in the plan."""
+        return len(self.queries)
+
+
+def poisson_arrivals(
+    rate_per_second: float,
+    horizon_seconds: float,
+    seed: int = 42,
+    query_names: Optional[Sequence[str]] = None,
+    query_weights: Optional[Dict[str, float]] = None,
+    max_arrivals: int = 10_000,
+) -> ArrivalPlan:
+    """Poisson process of query arrivals over ``[0, horizon_seconds)``.
+
+    Args:
+        rate_per_second: Expected arrivals per simulated second.
+        horizon_seconds: Length of the arrival window.
+        seed: RNG seed (controls both arrival times and template params).
+        query_names: Templates to draw from (default: all 22).
+        query_weights: Optional relative weights per template name —
+            e.g. ``{"Q6": 5.0}`` models the analyst hotspot where cheap
+            recent-data queries dominate.
+        max_arrivals: Safety bound.
+    """
+    if rate_per_second <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_second}")
+    if horizon_seconds <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon_seconds}")
+    rng = np.random.default_rng(seed)
+    names = list(query_names) if query_names else sorted(
+        QUERY_FACTORIES, key=lambda n: int(n[1:])
+    )
+    weights = np.array(
+        [float((query_weights or {}).get(name, 1.0)) for name in names]
+    )
+    if (weights <= 0).all():
+        raise ValueError("at least one query weight must be positive")
+    probabilities = weights / weights.sum()
+
+    arrival_times: List[float] = []
+    queries: List[QuerySpec] = []
+    time = 0.0
+    while len(arrival_times) < max_arrivals:
+        time += float(rng.exponential(1.0 / rate_per_second))
+        if time >= horizon_seconds:
+            break
+        name = str(rng.choice(names, p=probabilities))
+        arrival_times.append(time)
+        queries.append(QUERY_FACTORIES[name](rng))
+    return ArrivalPlan(queries=queries, arrival_times=arrival_times)

@@ -1,0 +1,48 @@
+"""TPC-H throughput-run stream generation.
+
+A throughput run starts several streams at once; each stream executes all
+22 queries in its own permuted order (as the official benchmark
+prescribes), so different queries overlap at different times — the
+concurrency pattern the paper's Table 1 is measured on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.query import QuerySpec
+from repro.workloads.tpch_queries import QUERY_FACTORIES
+
+
+def tpch_stream(
+    stream_id: int,
+    seed: int = 42,
+    query_names: Optional[Sequence[str]] = None,
+) -> List[QuerySpec]:
+    """One stream: a seeded permutation of the query templates.
+
+    ``query_names`` restricts the stream to a subset (tests use short
+    streams); by default all 22 templates are used.
+    """
+    names = list(query_names) if query_names is not None else sorted(
+        QUERY_FACTORIES, key=lambda n: int(n[1:])
+    )
+    rng = np.random.default_rng(seed * 1_000_003 + stream_id)
+    order = rng.permutation(len(names))
+    return [QUERY_FACTORIES[names[i]](rng) for i in order]
+
+
+def tpch_streams(
+    n_streams: int,
+    seed: int = 42,
+    query_names: Optional[Sequence[str]] = None,
+) -> List[List[QuerySpec]]:
+    """Build ``n_streams`` independently permuted streams."""
+    if n_streams < 1:
+        raise ValueError(f"need at least one stream, got {n_streams}")
+    return [
+        tpch_stream(stream_id, seed=seed, query_names=query_names)
+        for stream_id in range(n_streams)
+    ]

@@ -1,0 +1,52 @@
+"""Parametric synthetic workloads for unit tests and ablation sweeps."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.expressions import Expression
+from repro.engine.operators import AggSpec
+from repro.engine.query import QuerySpec, ScanStep
+from repro.storage.schema import ColumnSpec, TableSchema
+
+
+def uniform_scan_query(
+    table: str,
+    lo_frac: float = 0.0,
+    hi_frac: float = 1.0,
+    cpu_units_per_row: float = 0.0,
+    predicate: Optional[Expression] = None,
+    name: Optional[str] = None,
+) -> QuerySpec:
+    """A single-step scan query over a fractional slice of a table.
+
+    The ablation benches sweep ``cpu_units_per_row`` to dial a scan
+    anywhere between I/O-bound and CPU-bound.
+    """
+    return QuerySpec(
+        name=name or f"scan-{table}-{lo_frac:.2f}-{hi_frac:.2f}",
+        steps=(
+            ScanStep(
+                table=table,
+                fraction=(lo_frac, hi_frac),
+                predicate=predicate,
+                aggregates=(AggSpec("rows", "count"),),
+                extra_units_per_row=cpu_units_per_row,
+                label=table,
+            ),
+        ),
+    )
+
+
+def simple_table_schema(name: str = "t", rows_per_page: int = 100) -> TableSchema:
+    """A minimal test table: a sequence key, a value, and a cluster date."""
+    return TableSchema(
+        name=name,
+        rows_per_page=rows_per_page,
+        columns=(
+            ColumnSpec("id", "sequence"),
+            ColumnSpec("value", "float_uniform", 0.0, 100.0),
+            ColumnSpec("flag", "choice", categories=("a", "b", "c")),
+            ColumnSpec("day", "clustered", 0.0, 1000.0),
+        ),
+    )

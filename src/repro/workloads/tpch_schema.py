@@ -1,0 +1,191 @@
+"""The scaled TPC-H-shaped schema.
+
+Dates are day numbers: 0 = 1992-01-01; the data spans seven years
+(≈ 2557 days), matching TPC-H's date range.  ``lineitem`` is clustered
+on ``l_shipdate`` and ``orders`` on ``o_orderdate`` — the physical
+organization that turns the benchmark's date-range predicates into
+contiguous page-range scans, which is precisely the workload whose
+buffer locality the paper improves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.database import Database, SystemConfig
+from repro.storage.schema import ColumnSpec, TableSchema
+
+#: Total days in the TPC-H date range (1992-01-01 .. 1998-12-31).
+DATE_RANGE_DAYS = 2557.0
+
+#: First day-number of each calendar year in the dataset.
+YEAR_START: Dict[int, float] = {
+    1992: 0.0,
+    1993: 366.0,
+    1994: 731.0,
+    1995: 1096.0,
+    1996: 1461.0,
+    1997: 1827.0,
+    1998: 2192.0,
+}
+
+#: Page counts at scale 1.0 (the "100 GB" database scaled ~1000×).
+TPCH_BASE_PAGES: Dict[str, int] = {
+    "lineitem": 1600,
+    "orders": 400,
+    "partsupp": 320,
+    "part": 120,
+    "customer": 120,
+    "supplier": 24,
+    "nation": 2,
+}
+
+
+def _date(kind_low: float = 0.0, kind_high: float = DATE_RANGE_DAYS) -> tuple:
+    return kind_low, kind_high
+
+
+def tpch_schemas(rows_per_page: int = 100) -> Dict[str, TableSchema]:
+    """All table schemas, keyed by table name."""
+    date_lo, date_hi = _date()
+    return {
+        "lineitem": TableSchema(
+            name="lineitem",
+            rows_per_page=rows_per_page,
+            columns=(
+                ColumnSpec("l_orderkey", "int_uniform", 1, 6_000_000),
+                ColumnSpec("l_partkey", "int_uniform", 1, 200_000),
+                ColumnSpec("l_suppkey", "int_uniform", 1, 10_000),
+                ColumnSpec("l_quantity", "int_uniform", 1, 50),
+                ColumnSpec("l_extendedprice", "float_uniform", 900.0, 105_000.0),
+                ColumnSpec("l_discount", "float_uniform", 0.0, 0.10),
+                ColumnSpec("l_tax", "float_uniform", 0.0, 0.08),
+                ColumnSpec("l_returnflag", "choice", categories=("A", "N", "R")),
+                ColumnSpec("l_linestatus", "choice", categories=("O", "F")),
+                ColumnSpec("l_shipdate", "clustered", date_lo, date_hi),
+                ColumnSpec("l_commitdate", "float_uniform", date_lo, date_hi),
+                ColumnSpec("l_receiptdate", "float_uniform", date_lo, date_hi),
+                ColumnSpec(
+                    "l_shipmode",
+                    "choice",
+                    categories=("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"),
+                ),
+                ColumnSpec(
+                    "l_shipinstruct",
+                    "choice",
+                    categories=(
+                        "COLLECT COD",
+                        "DELIVER IN PERSON",
+                        "NONE",
+                        "TAKE BACK RETURN",
+                    ),
+                ),
+            ),
+        ),
+        "orders": TableSchema(
+            name="orders",
+            rows_per_page=rows_per_page,
+            columns=(
+                ColumnSpec("o_orderkey", "sequence"),
+                ColumnSpec("o_custkey", "int_uniform", 1, 150_000),
+                ColumnSpec("o_orderstatus", "choice", categories=("F", "O", "P")),
+                ColumnSpec("o_totalprice", "float_uniform", 850.0, 560_000.0),
+                ColumnSpec("o_orderdate", "clustered", date_lo, date_hi),
+                ColumnSpec(
+                    "o_orderpriority",
+                    "choice",
+                    categories=("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                                "5-LOW"),
+                ),
+                ColumnSpec("o_shippriority", "int_uniform", 0, 1),
+            ),
+        ),
+        "partsupp": TableSchema(
+            name="partsupp",
+            rows_per_page=rows_per_page,
+            columns=(
+                ColumnSpec("ps_partkey", "int_uniform", 1, 200_000),
+                ColumnSpec("ps_suppkey", "int_uniform", 1, 10_000),
+                ColumnSpec("ps_availqty", "int_uniform", 1, 9_999),
+                ColumnSpec("ps_supplycost", "float_uniform", 1.0, 1_000.0),
+            ),
+        ),
+        "part": TableSchema(
+            name="part",
+            rows_per_page=rows_per_page,
+            columns=(
+                ColumnSpec("p_partkey", "sequence"),
+                ColumnSpec(
+                    "p_brand",
+                    "choice",
+                    categories=tuple(f"Brand#{i}{j}" for i in range(1, 6)
+                                     for j in range(1, 6)),
+                ),
+                ColumnSpec(
+                    "p_type",
+                    "choice",
+                    categories=("ECONOMY", "LARGE", "MEDIUM", "PROMO", "SMALL",
+                                "STANDARD"),
+                ),
+                ColumnSpec("p_size", "int_uniform", 1, 50),
+                ColumnSpec(
+                    "p_container",
+                    "choice",
+                    categories=("SM CASE", "SM BOX", "MED BAG", "MED BOX",
+                                "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR"),
+                ),
+                ColumnSpec("p_retailprice", "float_uniform", 900.0, 2_000.0),
+            ),
+        ),
+        "customer": TableSchema(
+            name="customer",
+            rows_per_page=rows_per_page,
+            columns=(
+                ColumnSpec("c_custkey", "sequence"),
+                ColumnSpec("c_nationkey", "int_uniform", 0, 24),
+                ColumnSpec("c_acctbal", "float_uniform", -999.99, 9_999.99),
+                ColumnSpec(
+                    "c_mktsegment",
+                    "choice",
+                    categories=("AUTOMOBILE", "BUILDING", "FURNITURE",
+                                "HOUSEHOLD", "MACHINERY"),
+                ),
+            ),
+        ),
+        "supplier": TableSchema(
+            name="supplier",
+            rows_per_page=rows_per_page,
+            columns=(
+                ColumnSpec("s_suppkey", "sequence"),
+                ColumnSpec("s_nationkey", "int_uniform", 0, 24),
+                ColumnSpec("s_acctbal", "float_uniform", -999.99, 9_999.99),
+            ),
+        ),
+        "nation": TableSchema(
+            name="nation",
+            rows_per_page=rows_per_page,
+            columns=(
+                ColumnSpec("n_nationkey", "sequence"),
+                ColumnSpec("n_regionkey", "int_uniform", 0, 4),
+            ),
+        ),
+    }
+
+
+def make_tpch_database(
+    config: Optional[SystemConfig] = None, scale: float = 1.0,
+    rows_per_page: int = 100,
+) -> Database:
+    """Build and open a database holding the scaled TPC-H tables.
+
+    ``scale`` multiplies every table's page count (minimum one extent per
+    table), so tests can run at scale 0.1 while benchmarks use 1.0.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    db = Database(config)
+    schemas = tpch_schemas(rows_per_page=rows_per_page)
+    for name, base_pages in TPCH_BASE_PAGES.items():
+        n_pages = max(db.config.extent_size, int(base_pages * scale))
+        db.create_table(schemas[name], n_pages=n_pages)
+    return db.open()

@@ -1,0 +1,69 @@
+"""Shared fixtures: tiny databases and helpers used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.buffer.pool import BufferPool
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.engine.database import Database, SystemConfig
+from repro.core.config import SharingConfig
+from repro.sim.kernel import Simulator
+from repro.workloads.synthetic import simple_table_schema
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def disk(sim: Simulator) -> Disk:
+    """A small disk for unit tests."""
+    return Disk(sim, DiskGeometry(total_pages=4096))
+
+
+def make_pool(sim: Simulator, disk: Disk, capacity: int = 32,
+              policy=None) -> BufferPool:
+    """A pool whose page keys map 1:1 onto disk addresses."""
+    return BufferPool(
+        sim, disk, capacity=capacity, address_of=lambda key: key.page_no,
+        policy=policy,
+    )
+
+
+def make_database(
+    n_pages: int = 128,
+    pool_pages: int = 32,
+    sharing: SharingConfig = None,
+    n_cpus: int = 2,
+    table_name: str = "t",
+    extent_size: int = 8,
+    **config_kwargs,
+) -> Database:
+    """A one-table database, opened and ready for scans."""
+    config = SystemConfig(
+        n_cpus=n_cpus,
+        pool_pages=pool_pages,
+        min_pool_pages=pool_pages,
+        sharing=sharing or SharingConfig(),
+        extent_size=extent_size,
+        **config_kwargs,
+    )
+    db = Database(config)
+    db.create_table(simple_table_schema(table_name), n_pages=n_pages)
+    return db.open()
+
+
+@pytest.fixture
+def small_db() -> Database:
+    """A small single-table database with sharing enabled."""
+    return make_database()
+
+
+@pytest.fixture
+def base_db() -> Database:
+    """Same database with the sharing mechanism disabled."""
+    return make_database(sharing=SharingConfig(enabled=False))

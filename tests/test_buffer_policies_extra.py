@@ -1,0 +1,146 @@
+"""Unit tests for the LRFU and LIRS policies."""
+
+import pytest
+
+from repro.buffer.page import PageKey
+from repro.buffer.replacement import make_policy
+from repro.buffer.replacement.lirs import LirsPolicy
+from repro.buffer.replacement.lrfu import LrfuPolicy
+
+
+def key(n: int) -> PageKey:
+    return PageKey(0, n)
+
+
+def always(_key: PageKey) -> bool:
+    return True
+
+
+class TestLrfu:
+    def test_registry(self):
+        assert make_policy("lrfu").name == "lrfu"
+
+    def test_lambda_validated(self):
+        with pytest.raises(ValueError):
+            LrfuPolicy(lam=0.0)
+        with pytest.raises(ValueError):
+            LrfuPolicy(lam=1.5)
+
+    def test_crf_grows_with_accesses(self):
+        policy = LrfuPolicy()
+        policy.on_admit(key(0))
+        one_access = policy.current_crf(key(0))
+        policy.on_hit(key(0))
+        assert policy.current_crf(key(0)) > one_access
+
+    def test_frequent_page_survives(self):
+        policy = LrfuPolicy(lam=0.01)
+        policy.on_admit(key(0))
+        for _ in range(5):
+            policy.on_hit(key(0))
+        policy.on_admit(key(1))
+        assert policy.choose_victim(always) == key(1)
+
+    def test_large_lambda_behaves_like_lru(self):
+        policy = LrfuPolicy(lam=1.0)
+        policy.on_admit(key(0))
+        for _ in range(10):
+            policy.on_hit(key(0))
+        policy.on_admit(key(1))
+        policy.on_hit(key(1))  # key 1 accessed most recently
+        # With lambda=1 the history decays almost instantly: the victim is
+        # the least recently touched page regardless of frequency.
+        assert policy.choose_victim(always) == key(0)
+
+    def test_evict_removes_tracking(self):
+        policy = LrfuPolicy()
+        policy.on_admit(key(0))
+        policy.on_evict(key(0))
+        assert policy.choose_victim(always) is None
+
+    def test_respects_evictability(self):
+        policy = LrfuPolicy()
+        policy.on_admit(key(0))
+        policy.on_admit(key(1))
+        assert policy.choose_victim(lambda k: k != key(0)) == key(1)
+
+
+class TestLirs:
+    def test_registry_needs_capacity(self):
+        with pytest.raises(ValueError):
+            make_policy("lirs")
+        assert make_policy("lirs", capacity=16).name == "lirs"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LirsPolicy(capacity=1)
+        with pytest.raises(ValueError):
+            LirsPolicy(capacity=16, hir_fraction=1.0)
+
+    def test_cold_fill_makes_lir(self):
+        policy = LirsPolicy(capacity=10, hir_fraction=0.2)
+        for n in range(policy.lir_capacity):
+            policy.on_admit(key(n))
+        assert policy.sizes()["lir"] == policy.lir_capacity
+        assert policy.sizes()["resident_hir"] == 0
+
+    def test_overflow_becomes_resident_hir(self):
+        policy = LirsPolicy(capacity=10, hir_fraction=0.2)
+        for n in range(policy.lir_capacity + 2):
+            policy.on_admit(key(n))
+        assert policy.sizes()["resident_hir"] == 2
+
+    def test_victims_come_from_hir_queue_first(self):
+        policy = LirsPolicy(capacity=6, hir_fraction=0.34)
+        for n in range(6):
+            policy.on_admit(key(n))
+        victim = policy.choose_victim(always)
+        # Victims are resident HIR (admitted after the LIR set filled).
+        assert victim == key(policy.lir_capacity)
+
+    def test_hir_hit_in_stack_promotes_to_lir(self):
+        policy = LirsPolicy(capacity=6, hir_fraction=0.34)
+        for n in range(6):
+            policy.on_admit(key(n))
+        hir_key = key(policy.lir_capacity)
+        before = policy.sizes()["lir"]
+        policy.on_hit(hir_key)
+        sizes = policy.sizes()
+        assert sizes["lir"] <= before  # rebalanced back to budget
+        # The promoted page is no longer an eviction candidate from Q.
+        assert hir_key not in list(policy._queue)
+
+    def test_ghost_readmit_promotes(self):
+        policy = LirsPolicy(capacity=6, hir_fraction=0.34)
+        for n in range(6):
+            policy.on_admit(key(n))
+        hir_key = key(policy.lir_capacity)
+        policy.on_evict(hir_key)
+        assert policy.sizes()["ghosts"] >= 1
+        policy.on_admit(hir_key)  # re-reference within stack window
+        assert hir_key not in list(policy._queue)
+
+    def test_scan_resistance(self):
+        """A burst of one-shot pages must not displace the LIR set."""
+        policy = LirsPolicy(capacity=8, hir_fraction=0.25)
+        workers = [key(n) for n in range(policy.lir_capacity)]
+        for k in workers:
+            policy.on_admit(k)
+            policy.on_hit(k)
+        # Scan: 20 cold pages, each evicted after use.
+        for n in range(100, 120):
+            policy.on_admit(key(n))
+            victim = policy.choose_victim(always)
+            assert victim is not None
+            assert victim not in workers, "scan displaced the working set"
+            policy.on_evict(victim)
+
+    def test_evicting_everything_is_safe(self):
+        policy = LirsPolicy(capacity=4)
+        for n in range(4):
+            policy.on_admit(key(n))
+        for _ in range(4):
+            victim = policy.choose_victim(always)
+            assert victim is not None
+            policy.on_evict(victim)
+        assert policy.choose_victim(always) is None

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "e4", "--scale", "0.5", "--streams", "3", "--seed", "7"]
+        )
+        assert args.experiment == "e4"
+        assert args.scale == 0.5
+        assert args.streams == 3
+        assert args.seed == 7
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "e99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRegistry:
+    def test_all_core_experiments_registered(self):
+        for exp_id in [f"e{i}" for i in range(1, 9)]:
+            assert exp_id in EXPERIMENTS
+        for exp_id in [f"a{i}" for i in range(1, 8)]:
+            assert exp_id in EXPERIMENTS
+
+    def test_descriptions_non_empty(self):
+        for exp_id, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
+
+
+class TestExecution:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_run_e1_tiny(self, capsys):
+        assert main(["run", "e1", "--scale", "0.05", "--streams", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+        assert "Base" in out
+
+    def test_quickstart_tiny(self, capsys):
+        assert main(["quickstart", "--scale", "0.05", "--streams", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end (s)" in out
+        assert "pages read" in out

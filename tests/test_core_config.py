@@ -1,0 +1,50 @@
+"""Unit tests for SharingConfig validation and helpers."""
+
+import pytest
+
+from repro.core.config import BASELINE, FULL_SHARING, SharingConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SharingConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"update_interval_pages": 0},
+            {"distance_threshold_extents": 0.5, "target_distance_extents": 1.0},
+            {"slowdown_cap_fraction": -0.1},
+            {"slowdown_cap_fraction": 1.1},
+            {"max_wait_per_update": -1.0},
+            {"speed_smoothing": 0.0},
+            {"speed_smoothing": 1.5},
+            {"pool_budget_fraction": 0.0},
+            {"pool_budget_fraction": 1.2},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SharingConfig(**kwargs)
+
+
+class TestHelpers:
+    def test_disabled_copy(self):
+        config = SharingConfig()
+        off = config.disabled()
+        assert not off.enabled
+        assert config.enabled  # original untouched
+
+    def test_with_modifies_one_field(self):
+        config = SharingConfig()
+        changed = config.with_(throttling_enabled=False)
+        assert not changed.throttling_enabled
+        assert changed.placement_enabled == config.placement_enabled
+
+    def test_presets(self):
+        assert not BASELINE.enabled
+        assert FULL_SHARING.enabled
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SharingConfig().enabled = False  # type: ignore[misc]

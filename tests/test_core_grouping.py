@@ -1,0 +1,117 @@
+"""Unit tests for scan grouping (Figure-14 analog)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import form_groups
+from repro.core.scan_state import ScanDescriptor, ScanState
+
+
+def state(scan_id, position, table="t", table_pages=1000, speed=100.0):
+    descriptor = ScanDescriptor(
+        table_name=table, first_page=0, last_page=table_pages - 1,
+        estimated_speed=speed,
+    )
+    st_ = ScanState(
+        scan_id=scan_id, descriptor=descriptor, start_page=position,
+        start_time=0.0, speed=speed,
+    )
+    return st_
+
+
+class TestFormGroups:
+    def test_no_scans_no_groups(self):
+        assert form_groups({}, pool_budget_pages=100) == []
+
+    def test_single_scan_is_own_leader_and_trailer(self):
+        s = state(0, 50)
+        groups = form_groups({"t": [s]}, pool_budget_pages=100)
+        assert len(groups) == 1
+        assert groups[0].leader is s
+        assert groups[0].trailer is s
+        assert s.is_leader and s.is_trailer
+        assert groups[0].extent_pages == 0
+
+    def test_close_scans_grouped(self):
+        a, b = state(0, 50), state(1, 60)
+        groups = form_groups({"t": [a, b]}, pool_budget_pages=100)
+        assert len(groups) == 1
+        assert groups[0].trailer is a
+        assert groups[0].leader is b
+        assert b.is_leader and not b.is_trailer
+        assert a.is_trailer and not a.is_leader
+
+    def test_budget_exhausted_keeps_scans_apart(self):
+        a, b = state(0, 0), state(1, 500)
+        groups = form_groups({"t": [a, b]}, pool_budget_pages=100)
+        assert len(groups) == 2
+
+    def test_paper_example_groups(self):
+        """The paper's worked example: offsets 10/50/60/75 and 20/40 with a
+        50-page budget yield groups (A), (B,C,D), (E,F)."""
+        a = state(0, 10, table="t1")
+        b = state(1, 50, table="t1")
+        c = state(2, 60, table="t1")
+        d = state(3, 75, table="t1")
+        e = state(4, 20, table="t2")
+        f = state(5, 40, table="t2")
+        groups = form_groups({"t1": [a, b, c, d], "t2": [e, f]},
+                             pool_budget_pages=50)
+        by_members = {
+            tuple(sorted(m.scan_id for m in g.members)) for g in groups
+        }
+        assert by_members == {(0,), (1, 2, 3), (4, 5)}
+        # Total extent: (B,C,D) spans 25, (E,F) spans 20 -> 45 <= 50.
+        total = sum(g.extent_pages for g in groups)
+        assert total == 45
+
+    def test_closest_pairs_merged_first(self):
+        # Budget only allows one merge; the closest pair must win.
+        a, b, c = state(0, 0), state(1, 30), state(2, 40)
+        groups = form_groups({"t": [a, b, c]}, pool_budget_pages=15)
+        by_members = {tuple(sorted(m.scan_id for m in g.members)) for g in groups}
+        assert by_members == {(0,), (1, 2)}
+
+    def test_scans_on_different_tables_never_grouped(self):
+        a = state(0, 10, table="x")
+        b = state(1, 12, table="y")
+        groups = form_groups({"x": [a], "y": [b]}, pool_budget_pages=1000)
+        assert len(groups) == 2
+
+    def test_leader_is_frontmost_by_position(self):
+        scans = [state(i, pos) for i, pos in enumerate([90, 10, 50])]
+        groups = form_groups({"t": scans}, pool_budget_pages=1000)
+        assert len(groups) == 1
+        assert groups[0].leader.scan_id == 0  # position 90
+        assert groups[0].trailer.scan_id == 1  # position 10
+
+    def test_group_ids_unique(self):
+        scans = [state(i, i * 300) for i in range(4)]
+        groups = form_groups({"t": scans}, pool_budget_pages=10)
+        ids = [g.group_id for g in groups]
+        assert len(set(ids)) == len(ids)
+
+    def test_contains(self):
+        a, b = state(0, 0), state(1, 5)
+        groups = form_groups({"t": [a, b]}, pool_budget_pages=100)
+        assert a in groups[0]
+        assert b in groups[0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        positions=st.lists(
+            st.integers(min_value=0, max_value=999), min_size=1, max_size=12
+        ),
+        budget=st.integers(min_value=0, max_value=2000),
+    )
+    def test_partition_invariants(self, positions, budget):
+        """Groups always partition the scan set, total extent respects the
+        budget, and each group's leader/trailer bracket its members."""
+        scans = [state(i, pos) for i, pos in enumerate(positions)]
+        groups = form_groups({"t": scans}, pool_budget_pages=budget)
+        seen = [m.scan_id for g in groups for m in g.members]
+        assert sorted(seen) == sorted(s.scan_id for s in scans)
+        assert sum(g.extent_pages for g in groups) <= max(budget, 0)
+        for group in groups:
+            positions_in_group = [m.position for m in group.members]
+            assert group.trailer.position == min(positions_in_group)
+            assert group.leader.position == max(positions_in_group)

@@ -1,0 +1,199 @@
+"""Unit tests for the scan sharing manager lifecycle."""
+
+import pytest
+
+from repro.buffer.page import Priority
+from repro.core.config import SharingConfig
+from repro.core.manager import ScanSharingManager
+from repro.core.scan_state import ScanDescriptor
+from repro.sim.kernel import Simulator
+from repro.storage.catalog import Catalog
+from repro.storage.schema import ColumnSpec, make_schema
+from repro.storage.table import Table
+from repro.storage.tablespace import Tablespace
+
+
+def make_manager(config=None, table_pages=1000, pool=200, extent=16):
+    sim = Simulator()
+    catalog = Catalog(Tablespace(10_000))
+    schema = make_schema("t", [ColumnSpec("id", "sequence")])
+    catalog.create_table(Table(schema, n_pages=table_pages, extent_size=extent))
+    manager = ScanSharingManager(
+        sim, catalog, pool_capacity=pool, config=config or SharingConfig()
+    )
+    return sim, manager
+
+
+def full_scan_descriptor(speed=100.0, table_pages=1000):
+    return ScanDescriptor("t", 0, table_pages - 1, estimated_speed=speed)
+
+
+class TestLifecycle:
+    def test_first_scan_starts_at_range_start(self):
+        _, manager = make_manager()
+        state = manager.start_scan(full_scan_descriptor())
+        assert state.start_page == 0
+        assert manager.active_scan_count == 1
+
+    def test_scan_range_validated_against_table(self):
+        _, manager = make_manager(table_pages=100)
+        with pytest.raises(ValueError):
+            manager.start_scan(ScanDescriptor("t", 0, 100, estimated_speed=1.0))
+
+    def test_second_scan_joins_first(self):
+        sim, manager = make_manager()
+        first = manager.start_scan(full_scan_descriptor())
+        manager.update_location(first.scan_id, 200)
+        second = manager.start_scan(full_scan_descriptor())
+        assert second.start_page == 192  # extent-aligned at first's position
+        assert manager.stats.scans_joined_ongoing == 1
+
+    def test_end_scan_removes_state(self):
+        _, manager = make_manager()
+        state = manager.start_scan(full_scan_descriptor())
+        manager.end_scan(state.scan_id)
+        assert manager.active_scan_count == 0
+        with pytest.raises(KeyError):
+            manager.scan_state(state.scan_id)
+
+    def test_end_scan_records_last_read_position(self):
+        """A finished full scan's last *read* page is the one before its
+        wrapped final position."""
+        _, manager = make_manager()
+        state = manager.start_scan(full_scan_descriptor())
+        manager.update_location(state.scan_id, 1000)
+        manager.end_scan(state.scan_id)
+        assert manager.last_finished_position("t") == 999
+
+    def test_new_scan_after_all_finished_starts_near_last_position(self):
+        """The next scan starts a pool-leftover's worth of pages before the
+        finished scan's stopping point, to sweep up resident pages."""
+        _, manager = make_manager(pool=200)
+        first = manager.start_scan(full_scan_descriptor())
+        manager.update_location(first.scan_id, 512)
+        manager.end_scan(first.scan_id)
+        last_read = manager.last_finished_position("t")
+        second = manager.start_scan(full_scan_descriptor())
+        assert second.start_page <= last_read
+        # Backed off by ~pool/2 pages, then extent-aligned.
+        assert second.start_page >= last_read - 200 // 2 - 16
+        assert second.start_page > 0
+
+    def test_unknown_scan_id_raises(self):
+        _, manager = make_manager()
+        with pytest.raises(KeyError):
+            manager.update_location(42, 10)
+
+
+class TestLocationUpdates:
+    def test_pages_scanned_monotone(self):
+        _, manager = make_manager()
+        state = manager.start_scan(full_scan_descriptor())
+        manager.update_location(state.scan_id, 100)
+        with pytest.raises(ValueError):
+            manager.update_location(state.scan_id, 50)
+
+    def test_speed_measured_from_progress(self):
+        sim, manager = make_manager(config=SharingConfig(speed_smoothing=1.0))
+        state = manager.start_scan(full_scan_descriptor(speed=100.0))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        manager.update_location(state.scan_id, 400)
+        assert state.speed == pytest.approx(200.0)
+
+    def test_speed_smoothing_blends(self):
+        sim, manager = make_manager(config=SharingConfig(speed_smoothing=0.5))
+        state = manager.start_scan(full_scan_descriptor(speed=100.0))
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(state.scan_id, 300)
+        assert state.speed == pytest.approx(0.5 * 300 + 0.5 * 100)
+
+    def test_no_time_elapsed_keeps_speed(self):
+        _, manager = make_manager()
+        state = manager.start_scan(full_scan_descriptor(speed=100.0))
+        manager.update_location(state.scan_id, 10)
+        assert state.speed == pytest.approx(100.0)
+
+
+class TestThrottlingThroughManager:
+    def test_leader_receives_wait(self):
+        sim, manager = make_manager()
+        trailer = manager.start_scan(full_scan_descriptor())
+        leader = manager.start_scan(full_scan_descriptor())
+        # Leader sprints ahead; trailer crawls.
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(trailer.scan_id, 10)
+        # Advance past the regroup interval so the leader's update sees
+        # freshly formed groups reflecting both positions.
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        # Distance 140 is inside the grouping budget (200) but beyond the
+        # throttle threshold (2 extents = 32 pages).
+        wait = manager.update_location(leader.scan_id, 150)
+        assert wait > 0
+        assert manager.stats.throttle_waits == 1
+        assert manager.stats.total_throttle_time == pytest.approx(wait)
+
+    def test_no_wait_when_sharing_disabled(self):
+        sim, manager = make_manager(config=SharingConfig(enabled=False))
+        a = manager.start_scan(full_scan_descriptor())
+        b = manager.start_scan(full_scan_descriptor())
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(a.scan_id, 10)
+        assert manager.update_location(b.scan_id, 500) == 0.0
+
+    def test_disabled_placement_under_master_switch(self):
+        _, manager = make_manager(config=SharingConfig(enabled=False))
+        first = manager.start_scan(full_scan_descriptor())
+        manager.update_location(first.scan_id, 200)
+        second = manager.start_scan(full_scan_descriptor())
+        assert second.start_page == 0
+
+
+class TestPriorityThroughManager:
+    def test_leader_high_trailer_low(self):
+        sim, manager = make_manager()
+        trailer = manager.start_scan(full_scan_descriptor())
+        leader = manager.start_scan(full_scan_descriptor())
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(trailer.scan_id, 5)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(leader.scan_id, 60)
+        assert manager.page_priority(leader.scan_id) is Priority.HIGH
+        assert manager.page_priority(trailer.scan_id) is Priority.LOW
+
+    def test_singleton_normal(self):
+        _, manager = make_manager()
+        state = manager.start_scan(full_scan_descriptor())
+        assert manager.page_priority(state.scan_id) is Priority.NORMAL
+
+
+class TestRegrouping:
+    def test_regroup_interval_respected(self):
+        sim, manager = make_manager(config=SharingConfig(regroup_interval=10.0))
+        state = manager.start_scan(full_scan_descriptor())
+        regroups_after_start = manager.stats.regroups
+        manager.update_location(state.scan_id, 16)
+        manager.update_location(state.scan_id, 32)
+        # Updates within the interval must not regroup again.
+        assert manager.stats.regroups == regroups_after_start
+
+    def test_start_and_end_force_regroup(self):
+        _, manager = make_manager()
+        before = manager.stats.regroups
+        state = manager.start_scan(full_scan_descriptor())
+        assert manager.stats.regroups == before + 1
+        manager.end_scan(state.scan_id)
+        assert manager.stats.regroups == before + 2
+
+    def test_groups_visible(self):
+        _, manager = make_manager()
+        manager.start_scan(full_scan_descriptor())
+        manager.start_scan(full_scan_descriptor())
+        groups = manager.groups()
+        assert sum(g.size for g in groups) == 2

@@ -1,0 +1,133 @@
+"""Unit tests for new-scan placement."""
+
+import pytest
+
+from repro.core.config import SharingConfig
+from repro.core.placement import (
+    align_to_extent,
+    choose_start,
+    expected_shared_pages,
+)
+from repro.core.scan_state import ScanDescriptor, ScanState
+
+EXTENT = 16
+
+
+def desc(first=0, last=999, speed=100.0):
+    return ScanDescriptor("t", first, last, estimated_speed=speed)
+
+
+def ongoing(scan_id, position, speed=100.0, first=0, last=999, scanned=0):
+    state = ScanState(
+        scan_id=scan_id,
+        descriptor=desc(first, last, speed),
+        start_page=position,
+        start_time=0.0,
+        speed=speed,
+    )
+    state.pages_scanned = scanned
+    return state
+
+
+class TestSharedPageEstimate:
+    def test_candidate_outside_range_scores_zero(self):
+        new = desc(first=500, last=999)
+        candidate = ongoing(0, position=100)
+        assert expected_shared_pages(new, candidate) == 0.0
+
+    def test_equal_speeds_share_full_horizon(self):
+        new = desc(first=0, last=999)
+        candidate = ongoing(0, position=600)
+        # Horizon = min(remaining=1000, phase1=400) = 400, ratio 1.
+        assert expected_shared_pages(new, candidate) == pytest.approx(400.0)
+
+    def test_speed_mismatch_discounts(self):
+        new = desc(speed=100.0)
+        slow = ongoing(0, position=600, speed=25.0)
+        assert expected_shared_pages(new, slow) == pytest.approx(100.0)
+
+    def test_candidate_with_little_remaining(self):
+        new = desc()
+        nearly_done = ongoing(0, position=100, scanned=990)
+        assert expected_shared_pages(new, nearly_done) == pytest.approx(10.0)
+
+    def test_finished_candidate_scores_zero(self):
+        new = desc()
+        candidate = ongoing(0, position=100)
+        candidate.finished = True
+        assert expected_shared_pages(new, candidate) == 0.0
+
+
+class TestAlign:
+    def test_aligns_down_to_extent(self):
+        assert align_to_extent(37, first_page=0, extent_size=16) == 32
+
+    def test_clamped_to_range_start(self):
+        assert align_to_extent(37, first_page=35, extent_size=16) == 35
+
+    def test_already_aligned(self):
+        assert align_to_extent(32, first_page=0, extent_size=16) == 32
+
+
+class TestChooseStart:
+    def test_no_candidates_starts_at_range_start(self):
+        decision = choose_start(desc(), [], SharingConfig(), EXTENT)
+        assert decision.start_page == 0
+        assert not decision.joined
+
+    def test_joins_best_candidate(self):
+        candidates = [
+            ongoing(0, position=600, speed=100.0),
+            ongoing(1, position=300, speed=10.0),
+        ]
+        decision = choose_start(desc(speed=100.0), candidates, SharingConfig(), EXTENT)
+        assert decision.joined_scan_id == 0
+        assert decision.start_page == 592  # 600 aligned down to extent
+
+    def test_respects_min_share_pages(self):
+        config = SharingConfig(min_share_pages=500)
+        candidates = [ongoing(0, position=800)]  # only ~200 shared pages
+        decision = choose_start(desc(), candidates, config, EXTENT)
+        assert not decision.joined
+        assert decision.start_page == 0
+
+    def test_placement_disabled(self):
+        config = SharingConfig(placement_enabled=False)
+        candidates = [ongoing(0, position=600)]
+        decision = choose_start(desc(), candidates, config, EXTENT)
+        assert decision.start_page == 0
+        assert not decision.joined
+
+    def test_sharing_disabled(self):
+        config = SharingConfig(enabled=False)
+        candidates = [ongoing(0, position=600)]
+        decision = choose_start(desc(), candidates, config, EXTENT)
+        assert decision.start_page == 0
+
+    def test_last_finished_used_when_idle(self):
+        decision = choose_start(
+            desc(), [], SharingConfig(), EXTENT, last_finished_position=512
+        )
+        assert decision.joined_last_finished
+        assert decision.start_page == 512
+
+    def test_last_finished_outside_range_ignored(self):
+        decision = choose_start(
+            desc(first=0, last=99), [], SharingConfig(), EXTENT,
+            last_finished_position=512,
+        )
+        assert not decision.joined
+        assert decision.start_page == 0
+
+    def test_ongoing_candidate_beats_last_finished(self):
+        candidates = [ongoing(0, position=600)]
+        decision = choose_start(
+            desc(), candidates, SharingConfig(), EXTENT, last_finished_position=512
+        )
+        assert decision.joined_scan_id == 0
+
+    def test_candidate_outside_new_range_not_joined(self):
+        candidates = [ongoing(0, position=900)]
+        decision = choose_start(desc(first=0, last=499), candidates,
+                                SharingConfig(), EXTENT)
+        assert not decision.joined

@@ -1,0 +1,48 @@
+"""Unit tests for leader/trailer page prioritization."""
+
+from repro.buffer.page import Priority
+from repro.core.config import SharingConfig
+from repro.core.priority import release_priority
+from repro.core.scan_state import ScanDescriptor, ScanState
+
+
+def state(is_leader=False, is_trailer=False):
+    s = ScanState(
+        scan_id=0,
+        descriptor=ScanDescriptor("t", 0, 99, estimated_speed=10.0),
+        start_page=0,
+        start_time=0.0,
+        speed=10.0,
+    )
+    s.is_leader = is_leader
+    s.is_trailer = is_trailer
+    return s
+
+
+class TestReleasePriority:
+    def test_leader_releases_high(self):
+        assert release_priority(state(is_leader=True), 3, SharingConfig()) is Priority.HIGH
+
+    def test_trailer_releases_low(self):
+        assert release_priority(state(is_trailer=True), 3, SharingConfig()) is Priority.LOW
+
+    def test_middle_releases_normal(self):
+        assert release_priority(state(), 3, SharingConfig()) is Priority.NORMAL
+
+    def test_singleton_group_always_normal(self):
+        assert (
+            release_priority(state(is_leader=True, is_trailer=True), 1, SharingConfig())
+            is Priority.NORMAL
+        )
+
+    def test_prioritization_disabled(self):
+        config = SharingConfig(prioritization_enabled=False)
+        assert release_priority(state(is_leader=True), 3, config) is Priority.NORMAL
+
+    def test_sharing_disabled(self):
+        config = SharingConfig(enabled=False)
+        assert release_priority(state(is_leader=True), 3, config) is Priority.NORMAL
+
+    def test_grouping_disabled(self):
+        config = SharingConfig(grouping_enabled=False)
+        assert release_priority(state(is_leader=True), 3, config) is Priority.NORMAL

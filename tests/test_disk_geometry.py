@@ -1,0 +1,78 @@
+"""Unit tests for the disk service-time model."""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        DiskGeometry()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"page_size": 0},
+            {"total_pages": 0},
+            {"transfer_rate": 0},
+            {"min_seek_time": -1.0},
+            {"max_seek_time": 0.0001, "min_seek_time": 0.001},
+            {"settle_time": -0.1},
+            {"sequential_gap_pages": -1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DiskGeometry(**kwargs)
+
+
+class TestSeekModel:
+    def test_zero_distance_is_min_seek(self):
+        geo = DiskGeometry()
+        assert geo.seek_time(10, 10) == geo.min_seek_time
+
+    def test_full_stroke_is_max_seek(self):
+        geo = DiskGeometry(total_pages=1000)
+        assert geo.seek_time(0, 1000) == pytest.approx(geo.max_seek_time)
+
+    def test_seek_time_monotone_in_distance(self):
+        geo = DiskGeometry(total_pages=10_000)
+        times = [geo.seek_time(0, d) for d in (1, 10, 100, 1000, 10_000)]
+        assert times == sorted(times)
+
+    def test_seek_symmetric(self):
+        geo = DiskGeometry()
+        assert geo.seek_time(100, 500) == geo.seek_time(500, 100)
+
+
+class TestTransferModel:
+    def test_transfer_time_linear(self):
+        geo = DiskGeometry()
+        assert geo.transfer_time(10) == pytest.approx(10 * geo.transfer_time(1))
+
+    def test_transfer_zero_pages(self):
+        assert DiskGeometry().transfer_time(0) == 0.0
+
+    def test_transfer_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DiskGeometry().transfer_time(-1)
+
+    def test_default_page_transfer_sub_millisecond(self):
+        # 32 KiB at 100 MiB/s ~ 0.3 ms: keeps extents cheaper than seeks.
+        geo = DiskGeometry()
+        assert 0.0001 < geo.transfer_time(1) < 0.001
+
+
+class TestSequentialDetection:
+    def test_exactly_adjacent_is_sequential(self):
+        geo = DiskGeometry()
+        assert geo.is_sequential(100, 100)
+        assert geo.is_sequential(100, 101)
+
+    def test_gap_beyond_threshold_is_not_sequential(self):
+        geo = DiskGeometry(sequential_gap_pages=1)
+        assert not geo.is_sequential(100, 102)
+
+    def test_backwards_is_never_sequential(self):
+        geo = DiskGeometry()
+        assert not geo.is_sequential(100, 99)

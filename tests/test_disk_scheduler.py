@@ -1,0 +1,82 @@
+"""Unit tests for the elevator (LOOK) disk scheduler."""
+
+import pytest
+
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.sim.events import SimulationError
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def geo():
+    return DiskGeometry(total_pages=1000)
+
+
+def submit_batch(sim, disk, starts, completions):
+    def submitter(sim):
+        for start in starts:
+            ev = disk.read(start, 1)
+            ev.add_callback(lambda e: completions.append(e.value.start_page))
+        yield sim.timeout(0)
+
+    sim.spawn(submitter(sim))
+
+
+class TestElevator:
+    def test_unknown_scheduler_rejected(self, sim, geo):
+        with pytest.raises(SimulationError):
+            Disk(sim, geo, scheduler="cfq")
+
+    def test_sweep_serves_in_address_order(self, sim, geo):
+        disk = Disk(sim, geo, scheduler="elevator")
+        completions = []
+        submit_batch(sim, disk, [500, 100, 300, 700], completions)
+        sim.run()
+        # First request (500) starts service immediately on arrival; the
+        # rest are swept upward from there, then downward.
+        assert completions == [500, 700, 300, 100]
+
+    def test_fifo_serves_in_arrival_order(self, sim, geo):
+        disk = Disk(sim, geo, scheduler="fifo")
+        completions = []
+        submit_batch(sim, disk, [500, 100, 300, 700], completions)
+        sim.run()
+        assert completions == [500, 100, 300, 700]
+
+    def test_elevator_reverses_at_extremes(self, sim, geo):
+        disk = Disk(sim, geo, scheduler="elevator")
+        completions = []
+        submit_batch(sim, disk, [900, 100, 950, 50], completions)
+        sim.run()
+        assert completions == [900, 950, 100, 50]
+
+    def test_elevator_reduces_seek_time_for_scattered_load(self, sim, geo):
+        """Same requests, same seek count, but shorter total seek travel."""
+        import random
+
+        starts = list(range(0, 1000, 37))
+        random.Random(7).shuffle(starts)
+
+        def run(scheduler):
+            local_sim = Simulator()
+            disk = Disk(local_sim, geo, scheduler=scheduler)
+
+            def submitter(sim):
+                for start in starts:
+                    disk.read(start, 1)
+                yield sim.timeout(0)
+
+            local_sim.spawn(submitter(local_sim))
+            local_sim.run()
+            return disk.stats.seek_time
+
+        assert run("elevator") < run("fifo")
+
+    def test_all_requests_complete(self, sim, geo):
+        disk = Disk(sim, geo, scheduler="elevator")
+        completions = []
+        submit_batch(sim, disk, [10, 900, 500, 20, 800, 450], completions)
+        sim.run()
+        assert sorted(completions) == [10, 20, 450, 500, 800, 900]
+        assert disk.stats.reads == 6

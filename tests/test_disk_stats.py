@@ -1,0 +1,52 @@
+"""Unit tests for disk statistics and trace bucketing."""
+
+import pytest
+
+from repro.disk.stats import DiskStats
+
+
+class TestDiskStats:
+    def test_record_read_accumulates(self):
+        stats = DiskStats()
+        stats.record_read(time=1.0, n_pages=8, seeked=True, seek_time=0.005,
+                          xfer_time=0.002)
+        stats.record_read(time=2.0, n_pages=4, seeked=False, seek_time=0.0,
+                          xfer_time=0.001)
+        assert stats.reads == 2
+        assert stats.pages_read == 12
+        assert stats.seeks == 1
+        assert stats.seek_time == pytest.approx(0.005)
+        assert stats.busy_time == pytest.approx(0.008)
+
+    def test_record_write_separate(self):
+        stats = DiskStats()
+        stats.record_write(time=1.0, n_pages=2, seeked=True, seek_time=0.004,
+                           xfer_time=0.001)
+        assert stats.writes == 1
+        assert stats.pages_written == 2
+        assert stats.reads == 0
+        assert stats.seeks == 1
+
+    def test_bucket_trace_sums(self):
+        stats = DiskStats()
+        for t, pages in [(0.1, 4), (0.9, 4), (1.1, 8), (2.9, 2)]:
+            stats.record_read(t, pages, seeked=False, seek_time=0, xfer_time=0)
+        buckets = stats.pages_read_per_bucket(until=3.0, bucket=1.0)
+        assert buckets == [8.0, 8.0, 2.0]
+
+    def test_bucket_clamps_late_events(self):
+        stats = DiskStats()
+        stats.record_read(5.0, 4, seeked=False, seek_time=0, xfer_time=0)
+        buckets = stats.pages_read_per_bucket(until=4.0, bucket=1.0)
+        assert sum(buckets) == 4.0  # landed in the last bucket
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            DiskStats().pages_read_per_bucket(until=1.0, bucket=0.0)
+
+    def test_seeks_per_bucket(self):
+        stats = DiskStats()
+        stats.record_read(0.5, 1, seeked=True, seek_time=0.005, xfer_time=0)
+        stats.record_read(1.5, 1, seeked=True, seek_time=0.005, xfer_time=0)
+        stats.record_read(1.6, 1, seeked=False, seek_time=0, xfer_time=0)
+        assert stats.seeks_per_bucket(until=2.0, bucket=1.0) == [1.0, 1.0]

@@ -1,0 +1,36 @@
+"""Unit tests for the CPU cost model."""
+
+import pytest
+
+from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        assert DEFAULT_COST_MODEL.unit_seconds > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(unit_seconds=0.0)
+        with pytest.raises(ValueError):
+            CostModel(unit_seconds=-1e-9)
+
+    def test_seconds_linear(self):
+        model = CostModel(unit_seconds=1e-6)
+        assert model.seconds(100) == pytest.approx(1e-4)
+        assert model.seconds(0) == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.unit_seconds = 1.0  # type: ignore[misc]
+
+    def test_calibration_keeps_q6_io_bound(self):
+        """The default unit cost must keep a light per-row pipeline well
+        under the page transfer time — the Q6-is-I/O-bound premise."""
+        from repro.disk.geometry import DiskGeometry
+
+        model = DEFAULT_COST_MODEL
+        light_units_per_page = model.per_page_units + 100 * 6  # ~Q6 shape
+        cpu = model.seconds(light_units_per_page)
+        io = DiskGeometry().transfer_time(1)
+        assert cpu < 0.5 * io

@@ -1,0 +1,112 @@
+"""Unit tests for predicate-driven scan planning."""
+
+import pytest
+
+from repro.engine.executor import execute_query
+from repro.engine.expressions import col, lit
+from repro.engine.planner import (
+    extract_cluster_interval,
+    plan_query,
+    plan_step,
+)
+from repro.engine.query import QuerySpec, ScanStep
+
+from tests.conftest import make_database
+
+# The conftest table 't' is clustered on "day" over [0, 1000].
+DAY = "day"
+
+
+class TestIntervalExtraction:
+    def test_no_predicate_unbounded(self):
+        assert extract_cluster_interval(None, DAY) == (None, None)
+
+    def test_between(self):
+        pred = col(DAY).between(100.0, 200.0)
+        assert extract_cluster_interval(pred, DAY) == (100.0, 200.0)
+
+    def test_upper_bound(self):
+        assert extract_cluster_interval(col(DAY) < lit(300.0), DAY) == (None, 300.0)
+        assert extract_cluster_interval(col(DAY) <= lit(300.0), DAY) == (None, 300.0)
+
+    def test_lower_bound(self):
+        assert extract_cluster_interval(col(DAY) >= lit(50.0), DAY) == (50.0, None)
+
+    def test_equality(self):
+        assert extract_cluster_interval(col(DAY).eq(lit(42.0)), DAY) == (42.0, 42.0)
+
+    def test_flipped_operands(self):
+        # lit < col means col > lit.
+        assert extract_cluster_interval(lit(10.0) < col(DAY), DAY) == (10.0, None)
+
+    def test_conjunction_intersects(self):
+        pred = (col(DAY) >= lit(100.0)) & (col(DAY) < lit(400.0))
+        assert extract_cluster_interval(pred, DAY) == (100.0, 400.0)
+
+    def test_conjunction_with_other_columns(self):
+        pred = (col(DAY) >= lit(100.0)) & (col("value") < lit(5.0))
+        assert extract_cluster_interval(pred, DAY) == (100.0, None)
+
+    def test_disjunction_is_conservative(self):
+        pred = (col(DAY) < lit(100.0)) | (col(DAY) > lit(900.0))
+        assert extract_cluster_interval(pred, DAY) == (None, None)
+
+    def test_negation_is_conservative(self):
+        assert extract_cluster_interval(~(col(DAY) < lit(100.0)), DAY) == (None, None)
+
+    def test_column_vs_column_ignored(self):
+        pred = col(DAY) < col("value")
+        assert extract_cluster_interval(pred, DAY) == (None, None)
+
+    def test_other_column_ignored(self):
+        assert extract_cluster_interval(col("value") < lit(5.0), DAY) == (None, None)
+
+
+class TestPlanStep:
+    def test_narrows_range_from_predicate(self, small_db):
+        step = ScanStep(table="t", predicate=col(DAY).between(250.0, 500.0))
+        planned = plan_step(step, small_db.catalog)
+        assert planned.cluster_range == (250.0, 500.0)
+
+    def test_clamps_to_column_domain(self, small_db):
+        step = ScanStep(table="t", predicate=col(DAY) >= lit(-50.0))
+        planned = plan_step(step, small_db.catalog)
+        assert planned.cluster_range == (0.0, 1000.0)
+
+    def test_explicit_range_untouched(self, small_db):
+        step = ScanStep(table="t", cluster_range=(0.0, 10.0),
+                        predicate=col(DAY) < lit(999.0))
+        assert plan_step(step, small_db.catalog) is step
+
+    def test_unconstraining_predicate_untouched(self, small_db):
+        step = ScanStep(table="t", predicate=col("value") < lit(5.0))
+        assert plan_step(step, small_db.catalog) is step
+
+    def test_contradiction_scans_minimal_range(self, small_db):
+        pred = (col(DAY) > lit(800.0)) & (col(DAY) < lit(100.0))
+        planned = plan_step(ScanStep(table="t", predicate=pred),
+                            small_db.catalog)
+        low, high = planned.cluster_range
+        assert low == high
+
+
+class TestPlannedExecution:
+    def test_planned_query_scans_fewer_pages_same_answer(self, small_db):
+        spec = QuerySpec(
+            name="range-count",
+            steps=(ScanStep(table="t",
+                            predicate=col(DAY).between(200.0, 400.0),
+                            label="t"),),
+        )
+        planned = plan_query(spec, small_db.catalog)
+
+        proc_full = small_db.sim.spawn(execute_query(small_db, spec))
+        small_db.sim.run()
+        full = proc_full.completion.value
+
+        proc_planned = small_db.sim.spawn(execute_query(small_db, planned))
+        small_db.sim.run()
+        narrowed = proc_planned.completion.value
+
+        assert narrowed.pages_scanned < full.pages_scanned
+        assert narrowed.values["t"]["rows"] == full.values["t"]["rows"]

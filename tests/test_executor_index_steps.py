@@ -1,0 +1,131 @@
+"""Tests for query steps executed through a block index (via_index)."""
+
+import pytest
+
+from repro.core.config import SharingConfig
+from repro.engine.executor import execute_query, run_workload
+from repro.engine.expressions import col, lit
+from repro.engine.operators import AggSpec
+from repro.engine.query import QuerySpec, ScanStep
+
+from tests.conftest import make_database
+
+
+def make_indexed_db(shared=True, n_pages=128, scatter=True):
+    db = make_database(n_pages=n_pages, pool_pages=48, extent_size=8,
+                       sharing=SharingConfig(enabled=shared))
+    db.create_block_index("t", block_size_pages=8, scatter=scatter)
+    return db
+
+
+def index_query(name="ix", fraction=None, predicate=None):
+    return QuerySpec(
+        name=name,
+        steps=(
+            ScanStep(
+                table="t",
+                via_index=True,
+                fraction=fraction,
+                predicate=predicate,
+                aggregates=(AggSpec("rows", "count"),
+                            AggSpec("total", "sum", col("value"))),
+                label="t",
+            ),
+        ),
+    )
+
+
+class TestIndexSteps:
+    def test_requires_index(self):
+        db = make_database()
+        proc = db.sim.spawn(execute_query(db, index_query()))
+        db.sim.run()
+        assert proc.completion.failed
+        assert isinstance(proc.completion.value, KeyError)
+
+    def test_full_index_scan_sees_every_row(self):
+        db = make_indexed_db()
+        proc = db.sim.spawn(execute_query(db, index_query()))
+        db.sim.run()
+        result = proc.completion.value
+        assert result.values["t"]["rows"] == 128 * 100
+        assert result.pages_scanned == 128
+
+    def test_full_index_scan_matches_table_scan_answer(self):
+        """Same rows, different visit order: counts equal, sums approx."""
+        db = make_indexed_db()
+        ix_proc = db.sim.spawn(execute_query(db, index_query()))
+        db.sim.run()
+        table_query = QuerySpec(
+            name="tbl",
+            steps=(ScanStep(table="t",
+                            aggregates=(AggSpec("rows", "count"),
+                                        AggSpec("total", "sum", col("value"))),
+                            label="t"),),
+        )
+        tbl_proc = db.sim.spawn(execute_query(db, table_query))
+        db.sim.run()
+        ix_values = ix_proc.completion.value.values["t"]
+        tbl_values = tbl_proc.completion.value.values["t"]
+        assert ix_values["rows"] == tbl_values["rows"]
+        assert ix_values["total"] == pytest.approx(tbl_values["total"], rel=1e-9)
+
+    def test_fractional_range_scans_subset(self):
+        db = make_indexed_db()
+        proc = db.sim.spawn(execute_query(db, index_query(fraction=(0.0, 0.5))))
+        db.sim.run()
+        result = proc.completion.value
+        assert result.pages_scanned == 64
+
+    def test_predicate_applied(self):
+        db = make_indexed_db()
+        proc = db.sim.spawn(
+            execute_query(db, index_query(predicate=col("value") < lit(50.0)))
+        )
+        db.sim.run()
+        values = proc.completion.value.values["t"]
+        assert 0 < values["rows"] < 128 * 100
+
+    def test_requires_order_uses_plain_ixscan(self):
+        db = make_indexed_db(shared=True)
+        spec = QuerySpec(
+            name="ordered",
+            steps=(ScanStep(table="t", via_index=True, requires_order=True,
+                            label="t"),),
+        )
+        # Warm scan so placement would relocate an unordered scan.
+        warm = db.sim.spawn(execute_query(db, index_query("warm")))
+        db.sim.run(until=0.01)
+        proc = db.sim.spawn(execute_query(db, spec))
+        db.sim.run()
+        assert not warm.completion.failed or True
+        result = proc.completion.value
+        assert result.steps[0].scan.start_page == 0  # start entry 0
+
+    def test_concurrent_index_steps_share(self):
+        """SISCAN-backed steps read fewer pages than IXSCAN-backed ones.
+
+        The stagger must exceed the pool's reach in *blocks* (each
+        scattered block costs a seek, ~10 ms): with a 48-page pool and
+        8-page blocks, anything past ~6 blocks (~60 ms) defeats chance
+        sharing, so 150 ms is well clear of it.
+        """
+        def pages(shared):
+            db = make_indexed_db(shared=shared, n_pages=256)
+            query = index_query()
+            run_workload(db, [[query], [query]], stagger=0.15)
+            return db.disk.stats.pages_read
+
+        assert pages(True) < pages(False)
+
+    def test_index_manager_lifecycle(self):
+        db = make_indexed_db(shared=True)
+        run_workload(db, [[index_query()]])
+        ism = db.index_sharing_manager("t")
+        assert ism.stats.scans_started == 1
+        assert ism.active_scan_count == 0
+
+    def test_duplicate_index_rejected(self):
+        db = make_indexed_db()
+        with pytest.raises(ValueError):
+            db.create_block_index("t")

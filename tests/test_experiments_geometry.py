@@ -1,0 +1,45 @@
+"""Tests for the staggered experiments' scale-invariant geometry."""
+
+import pytest
+
+from repro.experiments.experiments import _staggered_query
+from repro.experiments.harness import (
+    ExperimentSettings,
+    expected_pool_pages,
+    expected_table_pages,
+)
+from repro.workloads.tpch_schema import DATE_RANGE_DAYS
+
+
+class TestStaggeredGeometry:
+    @pytest.mark.parametrize("scale", [0.1, 0.25, 0.5, 1.0])
+    def test_q6_range_exceeds_pool_at_any_scale(self, scale):
+        """The E2 query's scanned range must stay a multiple of the pool,
+        or the experiment degenerates into free caching."""
+        settings = ExperimentSettings(scale=scale)
+        spec = _staggered_query("Q6", settings)
+        lo, hi = spec.steps[0].cluster_range
+        fraction = (hi - lo) / DATE_RANGE_DAYS
+        lineitem = expected_table_pages(settings, "lineitem")
+        pool = expected_pool_pages(settings)
+        scanned_pages = fraction * lineitem
+        assert scanned_pages >= 1.5 * pool or fraction >= 0.95
+
+    def test_q6_range_targets_recent_data(self):
+        spec = _staggered_query("Q6", ExperimentSettings(scale=0.25))
+        _lo, hi = spec.steps[0].cluster_range
+        assert hi == DATE_RANGE_DAYS  # the warehouse's newest data
+
+    def test_other_templates_pass_through(self):
+        settings = ExperimentSettings(scale=0.25)
+        spec = _staggered_query("Q1", settings)
+        assert spec.name == "Q1"
+
+    def test_q6_spec_has_io_bound_shape(self):
+        """One light-predicate lineitem step with a single aggregate."""
+        spec = _staggered_query("Q6", ExperimentSettings(scale=0.25))
+        assert len(spec.steps) == 1
+        step = spec.steps[0]
+        assert step.table == "lineitem"
+        assert step.extra_units_per_row == 0.0
+        assert len(step.aggregates) == 1

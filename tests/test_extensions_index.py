@@ -1,0 +1,72 @@
+"""Unit tests for the simulated block index."""
+
+import pytest
+
+from repro.extensions.index_sharing.index import BlockIndex
+
+from tests.conftest import make_database
+
+
+def make_index(n_pages=128, block=8, scatter=True, seed=0):
+    db = make_database(n_pages=n_pages, pool_pages=48, extent_size=block)
+    table = db.catalog.table("t")
+    return db, BlockIndex(table, block_size_pages=block, scatter=scatter,
+                          scatter_seed=seed)
+
+
+class TestBlockIndex:
+    def test_entry_count_matches_blocks(self):
+        _, index = make_index(n_pages=128, block=8)
+        assert index.n_entries == 16
+
+    def test_partial_last_block(self):
+        _, index = make_index(n_pages=100, block=8)
+        assert index.n_blocks == 13
+        # The last block holds only the remaining pages.
+        last_block_pages = index.block_pages(12)
+        assert last_block_pages == [96, 97, 98, 99]
+
+    def test_blocks_partition_table_pages(self):
+        _, index = make_index(n_pages=120, block=8)
+        seen = []
+        for block_id in range(index.n_blocks):
+            seen.extend(index.block_pages(block_id))
+        assert sorted(seen) == list(range(120))
+
+    def test_entries_cover_each_block_once(self):
+        _, index = make_index()
+        blocks = [block for _e, block in index.entries(0, index.n_entries - 1)]
+        assert sorted(blocks) == list(range(index.n_blocks))
+
+    def test_scattered_index_is_scattered(self):
+        _, index = make_index(scatter=True)
+        assert index.scatter_factor() > 0.5
+
+    def test_clustered_index_is_sequential(self):
+        _, index = make_index(scatter=False)
+        assert index.scatter_factor() == 0.0
+
+    def test_scatter_deterministic_per_seed(self):
+        _, a = make_index(seed=3)
+        _, b = make_index(seed=3)
+        _, c = make_index(seed=4)
+        order = lambda ix: [blk for _e, blk in ix.entries(0, ix.n_entries - 1)]
+        assert order(a) == order(b)
+        assert order(a) != order(c)
+
+    def test_key_fraction_ranges(self):
+        _, index = make_index(n_pages=128, block=8)  # 16 entries
+        assert index.entries_for_key_fraction(0.0, 1.0) == (0, 15)
+        assert index.entries_for_key_fraction(0.0, 0.5) == (0, 7)
+        assert index.entries_for_key_fraction(0.5, 1.0) == (8, 15)
+
+    def test_validation(self):
+        db, index = make_index()
+        with pytest.raises(IndexError):
+            index.block_of_entry(index.n_entries)
+        with pytest.raises(IndexError):
+            index.block_pages(index.n_blocks)
+        with pytest.raises(ValueError):
+            index.entries_for_key_fraction(0.9, 0.1)
+        with pytest.raises(ValueError):
+            BlockIndex(db.catalog.table("t"), block_size_pages=0)

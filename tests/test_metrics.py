@@ -1,0 +1,144 @@
+"""Unit tests for the metrics layer."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector, QueryRecord
+from repro.metrics.cpu import compute_cpu_breakdown
+from repro.metrics.report import format_series, format_table, percent_gain
+from repro.sim.timeline import StepTimeline
+
+
+def record(stream=0, name="Q1", start=0.0, end=1.0):
+    return QueryRecord(
+        stream_id=stream, query_name=name, started_at=start, finished_at=end,
+        pages_scanned=10, cpu_seconds=0.1, throttle_seconds=0.0,
+    )
+
+
+class TestCollector:
+    def test_elapsed(self):
+        assert record(start=1.0, end=3.5).elapsed == pytest.approx(2.5)
+
+    def test_by_stream_and_name(self):
+        collector = MetricsCollector()
+        collector.record_query(record(stream=0, name="Q1"))
+        collector.record_query(record(stream=1, name="Q1"))
+        collector.record_query(record(stream=0, name="Q2"))
+        assert len(collector.by_stream()[0]) == 2
+        assert len(collector.by_query_name()["Q1"]) == 2
+
+    def test_stream_elapsed_spans_queries(self):
+        collector = MetricsCollector()
+        collector.record_query(record(stream=0, start=1.0, end=2.0))
+        collector.record_query(record(stream=0, start=3.0, end=7.0))
+        assert collector.stream_elapsed(0) == pytest.approx(6.0)
+
+    def test_stream_elapsed_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MetricsCollector().stream_elapsed(0)
+
+    def test_mean_query_elapsed(self):
+        collector = MetricsCollector()
+        collector.record_query(record(name="Q6", start=0.0, end=1.0))
+        collector.record_query(record(name="Q6", start=0.0, end=3.0))
+        assert collector.mean_query_elapsed("Q6") == pytest.approx(2.0)
+
+    def test_makespan(self):
+        collector = MetricsCollector()
+        assert collector.makespan() == 0.0
+        collector.record_query(record(start=1.0, end=2.0))
+        collector.record_query(record(start=0.5, end=4.0))
+        assert collector.makespan() == pytest.approx(3.5)
+
+
+class TestCpuBreakdown:
+    def test_fractions_sum_to_one(self):
+        cpu = StepTimeline()
+        cpu.record(0.0, 2)
+        cpu.record(5.0, 0)
+        disk = StepTimeline()
+        disk.record(0.0, 1)
+        disk.record(8.0, 0)
+        breakdown = compute_cpu_breakdown(cpu, disk, cores=4, until=10.0,
+                                          io_requests=10, syscall_cost=0.01)
+        total = (breakdown.user + breakdown.system + breakdown.idle
+                 + breakdown.iowait)
+        assert total == pytest.approx(1.0)
+
+    def test_fully_busy_is_all_user(self):
+        cpu = StepTimeline(initial=4)
+        disk = StepTimeline()
+        breakdown = compute_cpu_breakdown(cpu, disk, cores=4, until=10.0)
+        assert breakdown.user == pytest.approx(1.0)
+        assert breakdown.iowait == 0.0
+
+    def test_idle_with_pending_io_is_iowait(self):
+        cpu = StepTimeline(initial=0)
+        disk = StepTimeline(initial=1)
+        breakdown = compute_cpu_breakdown(cpu, disk, cores=2, until=10.0)
+        assert breakdown.iowait == pytest.approx(1.0)
+        assert breakdown.idle == 0.0
+
+    def test_idle_without_io_is_idle(self):
+        cpu = StepTimeline(initial=0)
+        disk = StepTimeline(initial=0)
+        breakdown = compute_cpu_breakdown(cpu, disk, cores=2, until=10.0)
+        assert breakdown.idle == pytest.approx(1.0)
+
+    def test_mixed_timelines(self):
+        # CPU busy 1 of 2 cores for [0,4); disk busy [2,6); until=8.
+        cpu = StepTimeline()
+        cpu.record(0.0, 1)
+        cpu.record(4.0, 0)
+        disk = StepTimeline()
+        disk.record(2.0, 1)
+        disk.record(6.0, 0)
+        b = compute_cpu_breakdown(cpu, disk, cores=2, until=8.0)
+        assert b.user == pytest.approx(4.0 / 16.0)
+        # iowait: [2,4): 1 idle core * 2s; [4,6): 2 idle * 2s = 6 core-s.
+        assert b.iowait == pytest.approx(6.0 / 16.0)
+
+    def test_system_time_shaved_from_iowait(self):
+        cpu = StepTimeline(initial=0)
+        disk = StepTimeline(initial=1)
+        b = compute_cpu_breakdown(cpu, disk, cores=1, until=10.0,
+                                  io_requests=100, syscall_cost=0.01)
+        assert b.system == pytest.approx(0.1)
+        assert b.iowait == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_cpu_breakdown(StepTimeline(), StepTimeline(), cores=0, until=1.0)
+        with pytest.raises(ValueError):
+            compute_cpu_breakdown(StepTimeline(), StepTimeline(), cores=1, until=0.0)
+
+    def test_as_dict(self):
+        b = compute_cpu_breakdown(StepTimeline(), StepTimeline(), cores=1, until=1.0)
+        assert set(b.as_dict()) == {"user", "system", "idle", "iowait"}
+
+
+class TestReport:
+    def test_percent_gain_positive_for_improvement(self):
+        assert percent_gain(100.0, 79.0) == pytest.approx(21.0)
+
+    def test_percent_gain_negative_for_regression(self):
+        assert percent_gain(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_percent_gain_zero_base(self):
+        assert percent_gain(0.0, 5.0) == 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bbb", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "1.500" in lines[2]
+
+    def test_format_table_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "extra"]])
+
+    def test_format_series(self):
+        text = format_series("reads", [1.0, 2.0, 4.0])
+        assert "reads" in text
+        assert text.count("\n") == 3

@@ -1,0 +1,67 @@
+"""Unit tests for result export (JSON/CSV)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.config import SharingConfig
+from repro.engine.executor import run_workload
+from repro.metrics.export import (
+    comparison_to_dict,
+    queries_to_csv,
+    series_to_csv,
+    workload_to_dict,
+    workload_to_json,
+)
+from repro.workloads.synthetic import uniform_scan_query
+
+from tests.conftest import make_database
+
+
+@pytest.fixture(scope="module")
+def workload():
+    db = make_database(sharing=SharingConfig(enabled=False))
+    query = uniform_scan_query("t", name="full")
+    return run_workload(db, [[query], [query]])
+
+
+class TestJson:
+    def test_dict_has_headline_fields(self, workload):
+        data = workload_to_dict(workload, label="Base")
+        assert data["label"] == "Base"
+        assert data["pages_read"] == workload.pages_read
+        assert len(data["streams"]) == 2
+        assert data["streams"][0]["queries"][0]["name"] == "full"
+
+    def test_json_round_trips(self, workload):
+        text = workload_to_json(workload, label="x")
+        parsed = json.loads(text)
+        assert parsed["label"] == "x"
+        assert parsed["makespan"] == pytest.approx(workload.makespan)
+
+    def test_comparison_dict_gains(self, workload):
+        data = comparison_to_dict(workload, workload)
+        assert data["end_to_end_gain_percent"] == pytest.approx(0.0)
+        assert data["base"]["label"] == "Base"
+        assert data["shared"]["label"] == "SS"
+
+
+class TestCsv:
+    def test_queries_csv_rows(self, workload):
+        text = queries_to_csv(workload)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "stream_id"
+        assert len(rows) == 1 + 2  # header + 2 queries
+        assert rows[1][1] == "full"
+
+    def test_series_csv_alignment(self):
+        text = series_to_csv({"base": [1.0, 2.0, 3.0], "ss": [0.5, 1.5]})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["bucket", "base", "ss"]
+        assert rows[1][1] == "1.000000"
+        assert rows[3][2] == ""  # shorter series padded
+
+    def test_empty_series(self):
+        assert series_to_csv({}) == ""

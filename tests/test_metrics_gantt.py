@@ -1,0 +1,45 @@
+"""Unit tests for the ASCII gantt renderer."""
+
+from repro.core.config import SharingConfig
+from repro.engine.executor import run_workload
+from repro.metrics.gantt import render_gantt, workload_gantt
+from repro.workloads.synthetic import uniform_scan_query
+
+from tests.conftest import make_database
+
+
+class TestRenderGantt:
+    def test_empty(self):
+        assert render_gantt([]) == "(no scans)"
+
+    def test_bar_positions_proportional(self):
+        text = render_gantt(
+            [("early", 0.0, 5.0, 1), ("late", 5.0, 10.0, 2)], width=20
+        )
+        early_line, late_line = text.splitlines()[:2]
+        # The early bar starts at the left edge; the late bar starts at
+        # about the middle.
+        assert early_line.split("|")[1].startswith("#")
+        assert late_line.split("|")[1].startswith(" " * 10)
+
+    def test_weight_shown(self):
+        text = render_gantt([("s", 0.0, 1.0, 42)])
+        assert text.splitlines()[0].rstrip().endswith("42")
+
+    def test_minimum_bar_width(self):
+        text = render_gantt([("tiny", 0.0, 0.0001, 1), ("big", 0.0, 10.0, 1)])
+        assert "#" in text.splitlines()[0]
+
+    def test_scale_line_shows_horizon(self):
+        text = render_gantt([("s", 0.0, 2.5, 1)])
+        assert "2.500s" in text.splitlines()[-1]
+
+
+class TestWorkloadGantt:
+    def test_renders_all_scans(self):
+        db = make_database(sharing=SharingConfig(enabled=False))
+        query = uniform_scan_query("t", name="full")
+        workload = run_workload(db, [[query], [query]])
+        text = workload_gantt(workload)
+        bar_lines = [line for line in text.splitlines() if line.startswith("t")]
+        assert len(bar_lines) == 2

@@ -1,0 +1,106 @@
+"""Failure-injection tests: scans must clean up after themselves."""
+
+import pytest
+
+from repro.core.config import SharingConfig
+from repro.engine.executor import execute_query, run_workload
+from repro.engine.query import QuerySpec, ScanStep
+from repro.scans.shared_scan import SharedTableScan
+from repro.scans.table_scan import TableScan
+from repro.workloads.synthetic import uniform_scan_query
+
+from tests.conftest import make_database
+
+
+def exploding_on_page(fail_at_page):
+    def on_page(page_no, data):
+        if page_no == fail_at_page:
+            raise RuntimeError(f"injected failure at page {page_no}")
+        return 1e-6
+
+    return on_page
+
+
+def assert_no_pins(db):
+    for key in db.pool.resident_keys():
+        assert not db.pool.frame_of(key).pinned, f"leaked pin on {key}"
+
+
+class TestPinLeaks:
+    @pytest.mark.parametrize("shared", [False, True])
+    def test_failing_scan_releases_all_pins(self, shared):
+        db = make_database(n_pages=64, sharing=SharingConfig(enabled=shared))
+        cls = SharedTableScan if shared else TableScan
+        scan = cls(db, "t", 0, 63, on_page=exploding_on_page(20))
+        proc = db.sim.spawn(scan.run())
+        db.sim.run()
+        assert proc.completion.failed
+        assert_no_pins(db)
+
+    def test_pool_usable_after_scan_failure(self):
+        """A crashed scan must not poison the pool for later scans."""
+        db = make_database(n_pages=64, pool_pages=16,
+                           sharing=SharingConfig(enabled=True))
+        bad = SharedTableScan(db, "t", 0, 63, on_page=exploding_on_page(5))
+        proc_bad = db.sim.spawn(bad.run())
+        db.sim.run()
+        assert proc_bad.completion.failed
+        good = SharedTableScan(db, "t", 0, 63, on_page=lambda p, d: 1e-6)
+        proc_good = db.sim.spawn(good.run())
+        db.sim.run()
+        assert not proc_good.completion.failed
+        assert proc_good.completion.value.pages_scanned == 64
+        assert_no_pins(db)
+
+    def test_manager_clean_after_failure(self):
+        db = make_database(n_pages=64)
+        scan = SharedTableScan(db, "t", 0, 63, on_page=exploding_on_page(9))
+        proc = db.sim.spawn(scan.run())
+        db.sim.run()
+        assert proc.completion.failed
+        assert db.sharing.active_scan_count == 0
+
+
+class TestRequiresOrder:
+    def test_order_requiring_step_never_wraps(self):
+        """A requires_order step must run as a vanilla scan even with
+        sharing enabled: it always starts at its range's first page."""
+        db = make_database(n_pages=64, sharing=SharingConfig(enabled=True))
+        # Prime an ongoing scan so placement WOULD relocate a new scan.
+        warm = SharedTableScan(db, "t", 0, 63, on_page=lambda p, d: 1e-4)
+        db.sim.spawn(warm.run())
+        db.sim.run(until=0.01)
+
+        ordered = QuerySpec(
+            name="ordered",
+            steps=(ScanStep(table="t", requires_order=True, label="t"),),
+        )
+        proc = db.sim.spawn(execute_query(db, ordered))
+        db.sim.run()
+        result = proc.completion.value
+        assert result.steps[0].scan.start_page == 0
+
+    def test_unordered_step_may_relocate(self):
+        db = make_database(n_pages=128, sharing=SharingConfig(enabled=True))
+        warm = SharedTableScan(db, "t", 0, 127, on_page=lambda p, d: 1e-4)
+        db.sim.spawn(warm.run())
+        db.sim.run(until=0.02)
+        unordered = uniform_scan_query("t", name="unordered")
+        proc = db.sim.spawn(execute_query(db, unordered))
+        db.sim.run()
+        result = proc.completion.value
+        assert result.steps[0].scan.start_page > 0
+
+    def test_ordered_results_identical_under_sharing(self):
+        """Order-requiring queries deliver identical results regardless
+        of the sharing switch (they always use the plain operator)."""
+        def run(shared):
+            db = make_database(n_pages=32, sharing=SharingConfig(enabled=shared))
+            spec = QuerySpec(
+                name="q",
+                steps=(ScanStep(table="t", requires_order=True, label="t"),),
+            )
+            result = run_workload(db, [[spec]])
+            return result.streams[0].queries[0].values
+
+        assert run(False) == run(True)

@@ -1,0 +1,106 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestEvent:
+    def test_starts_untriggered(self, sim):
+        ev = Event(sim)
+        assert not ev.triggered
+        assert not ev.failed
+
+    def test_succeed_sets_value(self, sim):
+        ev = Event(sim)
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.value == 42
+        assert not ev.failed
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = Event(sim)
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_trigger_raises(self, sim):
+        ev = Event(sim)
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        ev = Event(sim)
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_fail_stores_exception(self, sim):
+        ev = Event(sim)
+        error = ValueError("boom")
+        ev.fail(error)
+        assert ev.failed
+        assert ev.value is error
+
+    def test_callback_runs_on_trigger(self, sim):
+        ev = Event(sim)
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed("hello")
+        sim.run()
+        assert seen == ["hello"]
+
+    def test_callback_added_after_trigger_still_runs(self, sim):
+        ev = Event(sim)
+        ev.succeed(7)
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [7]
+
+    def test_multiple_callbacks_run_in_order(self, sim):
+        ev = Event(sim)
+        seen = []
+        ev.add_callback(lambda e: seen.append("first"))
+        ev.add_callback(lambda e: seen.append("second"))
+        ev.succeed()
+        sim.run()
+        assert seen == ["first", "second"]
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("late"))
+        queue.push(1.0, lambda: order.append("early"))
+        while len(queue):
+            _, cb = queue.pop()
+            cb()
+        assert order == ["early", "late"]
+
+    def test_same_time_preserves_insertion_order(self):
+        queue = EventQueue()
+        order = []
+        for i in range(5):
+            queue.push(1.0, lambda i=i: order.append(i))
+        while len(queue):
+            queue.pop()[1]()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_peek_time_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+    def test_len_counts_entries(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.pop()
+        assert len(queue) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.sim.events import SimulationError
+from repro.sim.kernel import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_advances_with_events(self, sim):
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-0.1)
+
+    def test_run_until_stops_clock(self, sim):
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert not fired
+        sim.run()
+        assert fired
+
+    def test_run_until_past_last_event_advances_clock(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_empty_run_returns_zero(self, sim):
+        assert sim.run() == 0.0
+
+
+class TestAllOf:
+    def test_all_of_collects_values(self, sim):
+        def worker(sim):
+            events = [sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
+            values = yield sim.all_of(events)
+            return values
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert proc.completion.value == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_all_of_empty_succeeds_immediately(self, sim):
+        combined = sim.all_of([])
+        assert combined.triggered
+        assert combined.value == []
+
+    def test_all_of_fails_on_first_failure(self, sim):
+        def worker(sim):
+            bad = sim.event()
+            sim.schedule(1.0, lambda: bad.fail(ValueError("nope")))
+            try:
+                yield sim.all_of([sim.timeout(5.0), bad])
+            except ValueError:
+                return "failed fast"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert proc.completion.value == "failed fast"
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def trace_run():
+            sim = Simulator()
+            log = []
+
+            def worker(sim, name, delays):
+                for delay in delays:
+                    yield sim.timeout(delay)
+                    log.append((sim.now, name))
+
+            sim.spawn(worker(sim, "a", [0.5, 0.5, 1.0]))
+            sim.spawn(worker(sim, "b", [1.0, 0.5, 0.5]))
+            sim.spawn(worker(sim, "c", [0.7, 0.7]))
+            sim.run()
+            return log
+
+        assert trace_run() == trace_run()

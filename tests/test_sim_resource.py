@@ -1,0 +1,74 @@
+"""Unit tests for counted FIFO resources."""
+
+import pytest
+
+from repro.sim.events import SimulationError
+from repro.sim.resource import Resource
+
+
+def hold(sim, resource, duration, log, name):
+    yield resource.acquire()
+    log.append(("start", name, sim.now))
+    yield sim.timeout(duration)
+    resource.release()
+    log.append(("end", name, sim.now))
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, 0)
+
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, 2)
+        log = []
+        for name in ("a", "b", "c"):
+            sim.spawn(hold(sim, res, 1.0, log, name))
+        sim.run()
+        starts = {name: t for kind, name, t in log if kind == "start"}
+        assert starts["a"] == 0.0
+        assert starts["b"] == 0.0
+        assert starts["c"] == 1.0  # waited for a slot
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, 1)
+        log = []
+        for name in ("first", "second", "third"):
+            sim.spawn(hold(sim, res, 1.0, log, name))
+        sim.run()
+        start_order = [name for kind, name, _ in log if kind == "start"]
+        assert start_order == ["first", "second", "third"]
+
+    def test_release_without_acquire_raises(self, sim):
+        res = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_in_use_and_queue_length(self, sim):
+        res = Resource(sim, 1)
+        log = []
+        sim.spawn(hold(sim, res, 5.0, log, "holder"))
+        sim.spawn(hold(sim, res, 1.0, log, "waiter"))
+        sim.run(until=1.0)
+        assert res.in_use == 1
+        assert res.queue_length == 1
+
+    def test_busy_time_integral(self, sim):
+        res = Resource(sim, 2)
+        log = []
+        sim.spawn(hold(sim, res, 2.0, log, "a"))
+        sim.spawn(hold(sim, res, 4.0, log, "b"))
+        sim.run()
+        # a holds for 2s, b for 4s -> 6 slot-seconds.
+        assert res.busy_time(sim.now) == pytest.approx(6.0)
+
+    def test_busy_timeline_levels(self, sim):
+        res = Resource(sim, 2)
+        log = []
+        sim.spawn(hold(sim, res, 1.0, log, "a"))
+        sim.spawn(hold(sim, res, 2.0, log, "b"))
+        sim.run()
+        timeline = res.busy_timeline
+        assert timeline.level_at(0.5) == 2
+        assert timeline.level_at(1.5) == 1
+        assert timeline.level_at(2.5) == 0

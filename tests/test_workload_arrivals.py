@@ -1,0 +1,60 @@
+"""Unit tests for the open-system arrival generator."""
+
+import pytest
+
+from repro.core.config import SharingConfig
+from repro.engine.database import SystemConfig
+from repro.engine.executor import run_workload
+from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.tpch_schema import make_tpch_database
+
+
+class TestPoissonArrivals:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(rate_per_second=0, horizon_seconds=1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(rate_per_second=1.0, horizon_seconds=0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 1.0, query_names=["Q6"],
+                             query_weights={"Q6": 0.0})
+
+    def test_arrivals_within_horizon_and_sorted(self):
+        plan = poisson_arrivals(rate_per_second=5.0, horizon_seconds=10.0)
+        assert all(0 <= t < 10.0 for t in plan.arrival_times)
+        assert plan.arrival_times == sorted(plan.arrival_times)
+        assert plan.n_arrivals == len(plan.queries)
+
+    def test_rate_roughly_respected(self):
+        plan = poisson_arrivals(rate_per_second=10.0, horizon_seconds=50.0,
+                                seed=3)
+        # Expect ~500; allow generous stochastic slack.
+        assert 350 < plan.n_arrivals < 650
+
+    def test_deterministic_per_seed(self):
+        a = poisson_arrivals(2.0, 20.0, seed=9)
+        b = poisson_arrivals(2.0, 20.0, seed=9)
+        assert a.arrival_times == b.arrival_times
+        assert [q.name for q in a.queries] == [q.name for q in b.queries]
+
+    def test_query_subset_and_weights(self):
+        plan = poisson_arrivals(
+            5.0, 30.0, seed=1, query_names=["Q1", "Q6"],
+            query_weights={"Q6": 50.0, "Q1": 1.0},
+        )
+        names = [q.name for q in plan.queries]
+        assert set(names) <= {"Q1", "Q6"}
+        assert names.count("Q6") > names.count("Q1")
+
+    def test_as_streams_plugs_into_run_workload(self):
+        plan = poisson_arrivals(8.0, 0.5, seed=2, query_names=["Q6", "Q14"])
+        if plan.n_arrivals == 0:
+            pytest.skip("no arrivals drawn in the tiny horizon")
+        db = make_tpch_database(
+            SystemConfig(sharing=SharingConfig(enabled=True)), scale=0.05
+        )
+        streams, delays = plan.as_streams()
+        result = run_workload(db, streams, stagger_list=delays)
+        assert len(result.streams) == plan.n_arrivals
+        starts = sorted(s.started_at for s in result.streams)
+        assert starts == sorted(plan.arrival_times)

@@ -1,0 +1,135 @@
+"""Unit tests for the TPC-H-shaped workload package."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SharingConfig
+from repro.engine.database import SystemConfig
+from repro.engine.executor import execute_query
+from repro.workloads.streams import tpch_stream, tpch_streams
+from repro.workloads.tpch_queries import QUERY_FACTORIES, make_query
+from repro.workloads.tpch_schema import (
+    TPCH_BASE_PAGES,
+    make_tpch_database,
+    tpch_schemas,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    """A very small TPC-H database shared by read-only query tests."""
+    return make_tpch_database(
+        SystemConfig(sharing=SharingConfig(enabled=False)), scale=0.05
+    )
+
+
+class TestSchemas:
+    def test_all_tables_present(self):
+        schemas = tpch_schemas()
+        assert set(schemas) == set(TPCH_BASE_PAGES)
+
+    def test_lineitem_clustered_on_shipdate(self):
+        schemas = tpch_schemas()
+        assert schemas["lineitem"].clustering_column.name == "l_shipdate"
+        assert schemas["orders"].clustering_column.name == "o_orderdate"
+
+    def test_database_builds_and_opens(self, tiny_db):
+        assert tiny_db.is_open
+        assert len(tiny_db.catalog) == len(TPCH_BASE_PAGES)
+
+    def test_scale_shrinks_tables(self):
+        db = make_tpch_database(SystemConfig(), scale=0.05)
+        lineitem = db.catalog.table("lineitem")
+        assert lineitem.n_pages == int(1600 * 0.05)
+
+    def test_scale_floor_is_one_extent(self):
+        db = make_tpch_database(SystemConfig(extent_size=16), scale=0.001)
+        assert db.catalog.table("nation").n_pages == 16
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            make_tpch_database(scale=0.0)
+
+
+class TestQueryTemplates:
+    def test_all_22_templates_exist(self):
+        assert len(QUERY_FACTORIES) == 22
+        assert {f"Q{i}" for i in range(1, 23)} == set(QUERY_FACTORIES)
+
+    @pytest.mark.parametrize("name", sorted(QUERY_FACTORIES))
+    def test_template_instantiates(self, name):
+        spec = make_query(name, np.random.default_rng(0))
+        assert spec.name == name
+        assert spec.steps
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(KeyError):
+            make_query("Q99")
+
+    @pytest.mark.parametrize("name", sorted(QUERY_FACTORIES))
+    def test_every_template_executes(self, tiny_db, name):
+        spec = make_query(name, np.random.default_rng(7))
+        proc = tiny_db.sim.spawn(execute_query(tiny_db, spec))
+        tiny_db.sim.run()
+        if proc.completion.failed:
+            raise proc.completion.value
+        result = proc.completion.value
+        assert result.pages_scanned > 0
+        assert result.values
+
+    def test_q1_is_cpu_heavier_than_q6_per_page(self, tiny_db):
+        """Q1 must be CPU-bound relative to Q6 — the property the two
+        staggered experiments rely on."""
+        results = {}
+        for name in ("Q1", "Q6"):
+            spec = make_query(name, np.random.default_rng(3))
+            proc = tiny_db.sim.spawn(execute_query(tiny_db, spec))
+            tiny_db.sim.run()
+            result = proc.completion.value
+            results[name] = result.cpu_seconds / result.pages_scanned
+        assert results["Q1"] > 3 * results["Q6"]
+
+    def test_q6_scans_one_year_slice(self):
+        spec = make_query("Q6", np.random.default_rng(1))
+        step = spec.steps[0]
+        assert step.table == "lineitem"
+        lo, hi = step.cluster_range
+        assert hi - lo <= 366.0
+
+    def test_q21_scans_lineitem_twice(self):
+        spec = make_query("Q21", np.random.default_rng(1))
+        lineitem_steps = [s for s in spec.steps if s.table == "lineitem"]
+        assert len(lineitem_steps) == 2
+
+    def test_parameters_vary_with_rng(self):
+        a = make_query("Q6", np.random.default_rng(1))
+        b = make_query("Q6", np.random.default_rng(2))
+        assert (
+            a.steps[0].cluster_range != b.steps[0].cluster_range
+            or a.steps[0].predicate is not b.steps[0].predicate
+        )
+
+
+class TestStreams:
+    def test_stream_contains_all_queries_once(self):
+        stream = tpch_stream(0)
+        names = sorted(q.name for q in stream)
+        assert names == sorted(QUERY_FACTORIES)
+
+    def test_streams_have_different_orders(self):
+        streams = tpch_streams(3)
+        orders = [tuple(q.name for q in s) for s in streams]
+        assert len(set(orders)) > 1
+
+    def test_streams_deterministic_for_seed(self):
+        a = [q.name for q in tpch_stream(1, seed=5)]
+        b = [q.name for q in tpch_stream(1, seed=5)]
+        assert a == b
+
+    def test_query_subset(self):
+        stream = tpch_stream(0, query_names=["Q1", "Q6"])
+        assert sorted(q.name for q in stream) == ["Q1", "Q6"]
+
+    def test_stream_count_validated(self):
+        with pytest.raises(ValueError):
+            tpch_streams(0)
