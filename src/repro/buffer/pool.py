@@ -29,6 +29,8 @@ from repro.buffer.stats import BufferStats
 from repro.disk.device import Disk
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
+from repro.trace.events import BufferEvict, BufferFix, BufferRelease
+from repro.trace.tracer import get_tracer
 
 AddressOf = Callable[[PageKey], int]
 
@@ -127,6 +129,7 @@ class BufferPool:
                 self.policy.on_hit(key)
                 if not classified:
                     self.stats.hits += 1
+                    self._trace_fix(key, "hit")
                 return frame
 
             pending = self._inflight.get(key)
@@ -134,11 +137,13 @@ class BufferPool:
                 if not classified:
                     self.stats.inflight_waits += 1
                     classified = True
+                    self._trace_fix(key, "inflight_wait")
                 yield pending
             else:
                 if not classified:
                     self.stats.misses += 1
                     classified = True
+                    self._trace_fix(key, "miss")
                 yield from self._read_run(key, prefetch)
 
             frame = self._frames.get(key)
@@ -163,9 +168,23 @@ class BufferPool:
         frame.pin_count -= 1
         frame.priority = priority
         self.policy.on_release(key, priority)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(BufferRelease(
+                time=self.sim.now, space_id=key.space_id, page_no=key.page_no,
+                priority=int(priority),
+            ))
 
     # The paper calls this operation "release page with priority p".
     release = unfix
+
+    def _trace_fix(self, key: PageKey, outcome: str) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(BufferFix(
+                time=self.sim.now, space_id=key.space_id, page_no=key.page_no,
+                outcome=outcome,
+            ))
 
     def mark_dirty(self, key: PageKey) -> None:
         """Flag a pinned page as modified (write back before eviction)."""
@@ -288,6 +307,7 @@ class BufferPool:
             if victim_key is None:
                 break
             frame = self._frames[victim_key]
+            wrote_back = frame.dirty
             if frame.dirty:
                 # Pin during writeback so a concurrent fix cannot race the
                 # page out from under the write.
@@ -303,6 +323,12 @@ class BufferPool:
             self.policy.on_evict(victim_key)
             self.stats.evictions += 1
             freed += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.emit(BufferEvict(
+                    time=self.sim.now, space_id=victim_key.space_id,
+                    page_no=victim_key.page_no, written_back=wrote_back,
+                ))
         return freed
 
     def _evictable(self, key: PageKey) -> bool:

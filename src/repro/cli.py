@@ -5,10 +5,14 @@ Usage::
     python -m repro list
     python -m repro run e4 --scale 0.35 --streams 5
     python -m repro run a3 --scale 0.2
+    python -m repro trace e2 --out trace.jsonl
     python -m repro quickstart
 
 ``run`` executes one experiment (see ``list`` for ids) and prints the
 same rows/series the paper's corresponding table or figure reports.
+``trace`` runs the same experiment with the structured-event tracer
+attached, prints an event summary, and can stream the full trace to a
+JSONL file for offline analysis.
 """
 
 from __future__ import annotations
@@ -113,15 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list available experiments")
 
     run = subparsers.add_parser("run", help="run one experiment")
-    run.add_argument("experiment", choices=sorted(EXPERIMENTS),
-                     help="experiment id")
-    run.add_argument("--scale", type=float, default=0.25,
-                     help="database scale factor (1.0 = headline size)")
-    run.add_argument("--streams", type=int, default=5,
-                     help="number of concurrent query streams")
-    run.add_argument("--seed", type=int, default=42, help="workload seed")
-    run.add_argument("--policy", default="priority-lru",
-                     help="bufferpool victim policy")
+    _add_experiment_args(run)
+
+    trace = subparsers.add_parser(
+        "trace", help="run one experiment with event tracing attached"
+    )
+    _add_experiment_args(trace)
+    trace.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the full trace as JSONL to FILE")
+    trace.add_argument("--ring", type=int, default=200_000,
+                       help="in-memory ring-buffer capacity (events kept "
+                            "for the summary)")
 
     quick = subparsers.add_parser(
         "quickstart", help="base-vs-sharing comparison on a TPC-H mix"
@@ -129,6 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--scale", type=float, default=0.25)
     quick.add_argument("--streams", type=int, default=3)
     return parser
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                        help="experiment id")
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="database scale factor (1.0 = headline size)")
+    parser.add_argument("--streams", type=int, default=5,
+                        help="number of concurrent query streams")
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument("--policy", default="priority-lru",
+                        help="bufferpool victim policy")
 
 
 def _cmd_list() -> str:
@@ -145,6 +163,38 @@ def _cmd_run(args: argparse.Namespace) -> str:
     description, runner = EXPERIMENTS[args.experiment]
     header = f"{args.experiment.upper()} — {description} (scale {args.scale}, {args.streams} streams)"
     return header + "\n" + runner(settings)
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    from repro.trace import JsonlSink, RingBufferSink, render_summary, tracing
+
+    settings = ExperimentSettings(
+        scale=args.scale, n_streams=args.streams, seed=args.seed,
+        policy=args.policy,
+    )
+    description, runner = EXPERIMENTS[args.experiment]
+    if args.ring < 1:
+        raise SystemExit(f"repro trace: error: --ring must be >= 1, got {args.ring}")
+    ring = RingBufferSink(capacity=args.ring)
+    sinks = [ring]
+    if args.out:
+        try:
+            sinks.append(JsonlSink(args.out))
+        except OSError as exc:
+            raise SystemExit(
+                f"repro trace: error: cannot open --out {args.out!r}: {exc}"
+            )
+    with tracing(*sinks):
+        body = runner(settings)
+    header = (
+        f"{args.experiment.upper()} — {description} "
+        f"(scale {args.scale}, {args.streams} streams, traced)"
+    )
+    text = header + "\n" + body + "\n\n"
+    text += render_summary(ring.events(), total_seen=ring.total_seen)
+    if args.out:
+        text += f"\ntrace written to {args.out}"
+    return text
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> str:
@@ -170,6 +220,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_cmd_list())
     elif args.command == "run":
         print(_cmd_run(args))
+    elif args.command == "trace":
+        print(_cmd_trace(args))
     elif args.command == "quickstart":
         print(_cmd_quickstart(args))
     return 0

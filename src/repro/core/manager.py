@@ -28,6 +28,14 @@ from repro.core.scan_state import ScanDescriptor, ScanState
 from repro.core.throttle import evaluate_throttle
 from repro.sim.kernel import Simulator
 from repro.storage.catalog import Catalog
+from repro.trace.events import (
+    FairnessCapTripped,
+    Regrouped,
+    ScanDeregistered,
+    ScanRegistered,
+    ThrottleEvaluated,
+)
+from repro.trace.tracer import get_tracer
 
 
 @dataclass
@@ -96,6 +104,17 @@ class ScanSharingManager:
             self.stats.scans_joined_ongoing += 1
         if decision.joined_last_finished:
             self.stats.scans_joined_last_finished += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(ScanRegistered(
+                time=self.sim.now, scan_id=state.scan_id,
+                table=descriptor.table_name,
+                first_page=descriptor.first_page,
+                last_page=descriptor.last_page,
+                start_page=decision.start_page,
+                joined_scan_id=decision.joined_scan_id,
+                joined_last_finished=decision.joined_last_finished,
+            ))
         self._regroup(force=True)
         return state
 
@@ -119,25 +138,21 @@ class ScanSharingManager:
             instantaneous = delta_pages / delta_time
             alpha = self.config.speed_smoothing
             state.speed = alpha * instantaneous + (1.0 - alpha) * state.speed
-            state.last_update_time = now
-            state.pages_at_last_update = pages_scanned
+        # Advance the bookkeeping unconditionally: pages reported in a
+        # zero-elapsed-time update must not be counted again in the next
+        # sample's delta, and a no-progress interval must not stretch the
+        # next sample's time window.
+        state.last_update_time = now
+        state.pages_at_last_update = pages_scanned
 
         if not self.config.enabled:
             return 0.0
 
-        # Regroup periodically — or immediately when this scan's movement
-        # has invalidated its group's leader/trailer ordering (it overtook
-        # the flagged leader or fell behind the flagged trailer).
+        # Regroup periodically — or immediately when scan movement has
+        # invalidated the group's circular trailer→leader ordering (some
+        # member now lies outside the arc the flags were stamped for).
         group = self._group_of(state)
-        order_violated = (
-            group is not None
-            and group.size > 1
-            and (
-                (not state.is_leader and state.position > group.leader.position)
-                or (not state.is_trailer and state.position < group.trailer.position)
-            )
-        )
-        self._regroup(force=order_violated)
+        self._regroup(force=self._order_violated(group))
         group = self._group_of(state)
         if group is None:
             return 0.0
@@ -149,6 +164,21 @@ class ScanSharingManager:
             state.accumulated_delay += decision.wait
             self.stats.throttle_waits += 1
             self.stats.total_throttle_time += decision.wait
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(ThrottleEvaluated(
+                time=now, scan_id=state.scan_id,
+                group_id=state.group_id if state.group_id is not None else -1,
+                distance=decision.distance, threshold=decision.threshold,
+                allowance=decision.allowance, wait=decision.wait,
+                capped_by_fairness=decision.capped_by_fairness,
+            ))
+            if decision.capped_by_fairness:
+                tracer.emit(FairnessCapTripped(
+                    time=now, scan_id=state.scan_id,
+                    accumulated_delay=state.accumulated_delay,
+                    estimated_total_time=state.estimated_total_time,
+                ))
         return decision.wait
 
     def page_priority(self, scan_id: int) -> Priority:
@@ -170,6 +200,14 @@ class ScanSharingManager:
         self._last_finished[state.descriptor.table_name] = final_read
         del self._states[scan_id]
         self.stats.scans_finished += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(ScanDeregistered(
+                time=self.sim.now, scan_id=scan_id,
+                table=state.descriptor.table_name,
+                pages_scanned=state.pages_scanned,
+                accumulated_delay=state.accumulated_delay,
+            ))
         self._regroup(force=True)
 
     # ------------------------------------------------------------------
@@ -229,6 +267,40 @@ class ScanSharingManager:
             return None
         return self._group_by_id.get(state.group_id)
 
+    def _order_violated(self, group: Optional[ScanGroup]) -> bool:
+        """Whether scan movement has invalidated the group's flags.
+
+        The flags stamped at group formation describe the group as a
+        circular arc: trailer first, leader last, with the *largest* gap
+        between circularly consecutive members lying leader→trailer
+        (outside the arc).  The ordering is violated once that stops
+        holding — a member overtook the flagged leader, fell behind the
+        flagged trailer, or the leader drifted so far that the flagged
+        split is no longer the widest gap.  Measured wrap-aware, so a
+        scan that wrapped past the range end (now at a small linear
+        position) is not misclassified as the trailer of its own group.
+        """
+        if group is None or group.size <= 1:
+            return False
+        circle = group.table_pages
+        if circle <= 0:
+            circle = self.catalog.table(group.table_name).n_pages
+        ordered = sorted(group.members, key=lambda s: (s.position, s.scan_id))
+        k = len(ordered)
+        gaps = [
+            ordered[i].forward_distance_to(ordered[(i + 1) % k], circle)
+            for i in range(k)
+        ]
+        leader_index = next(
+            i for i, s in enumerate(ordered)
+            if s.scan_id == group.leader.scan_id
+        )
+        successor = ordered[(leader_index + 1) % k]
+        return (
+            successor.scan_id != group.trailer.scan_id
+            or gaps[leader_index] < max(gaps)
+        )
+
     def _regroup(self, force: bool = False) -> None:
         if not (self.config.enabled and self.config.grouping_enabled):
             self._groups = []
@@ -242,7 +314,20 @@ class ScanSharingManager:
         for state in self._states.values():
             by_table.setdefault(state.descriptor.table_name, []).append(state)
         budget = int(self.pool_capacity * self.config.pool_budget_fraction)
-        self._groups = form_groups(by_table, budget)
+        self._groups = form_groups(
+            by_table,
+            budget,
+            table_pages={
+                name: self.catalog.table(name).n_pages for name in by_table
+            },
+        )
         self._group_by_id = {group.group_id: group for group in self._groups}
         self.stats.regroups += 1
         self.stats.group_count_trace.append((now, len(self._groups)))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(Regrouped(
+                time=now, n_scans=len(self._states),
+                n_groups=len(self._groups), forced=force,
+                group_sizes=tuple(group.size for group in self._groups),
+            ))

@@ -39,6 +39,10 @@ class ScanDescriptor:
             raise ValueError(
                 f"estimated_speed must be positive, got {self.estimated_speed}"
             )
+        if self.estimated_pages is not None and self.estimated_pages < 0:
+            raise ValueError(
+                f"estimated_pages must be >= 0, got {self.estimated_pages}"
+            )
 
     @property
     def range_pages(self) -> int:
@@ -47,8 +51,13 @@ class ScanDescriptor:
 
     @property
     def estimated_total_time(self) -> float:
-        """Estimated seconds to finish the scan at the estimated speed."""
-        pages = self.estimated_pages or self.range_pages
+        """Estimated seconds to finish the scan at the estimated speed.
+
+        An explicit ``estimated_pages=0`` (the optimizer predicting an
+        empty scan) must yield 0.0, not fall back to the full range —
+        hence the ``is None`` check rather than truthiness.
+        """
+        pages = self.range_pages if self.estimated_pages is None else self.estimated_pages
         return pages / self.estimated_speed
 
 

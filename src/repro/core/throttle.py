@@ -22,10 +22,18 @@ _MIN_SPEED = 1e-9
 
 @dataclass(frozen=True)
 class ThrottleDecision:
-    """Outcome of one throttle evaluation."""
+    """Outcome of one throttle evaluation.
+
+    Carries the inputs the decision was made from (``distance``,
+    ``threshold``, ``allowance``) so the tracing layer can record every
+    evaluation without re-deriving them.
+    """
 
     wait: float
     capped_by_fairness: bool
+    distance: int = 0
+    threshold: float = 0.0
+    allowance: float = 0.0
 
     @property
     def throttled(self) -> bool:
@@ -54,13 +62,36 @@ def evaluate_throttle(
     if group.size <= 1 or not scan.is_leader:
         return no_wait
 
-    trailer = group.trailer
-    if trailer.finished:
+    # Anchor the decision on the rear-most member still participating
+    # in throttling.  A finished member no longer needs the leader held
+    # back, and a fairness-exempted one is deliberately running free
+    # (e.g. an exempted fast scan that wrapped around and now trails
+    # the group circularly) — slowing others to match it is backwards.
+    anchors = [
+        member
+        for member in group.members
+        if member.scan_id != scan.scan_id
+        and not member.finished
+        and not member.throttle_exempt
+    ]
+    if not anchors:
         return no_wait
-    distance = scan.position - trailer.position
+    trailer = anchors[0]
+    # The leader-trailer gap is measured circularly in scan direction
+    # (trailer chasing leader): a leader that has wrapped past the range
+    # end sits at a *smaller* linear position than its trailer, and a
+    # linear difference would go negative and silently disable
+    # throttling for the rest of the scan.
+    circle = group.table_pages if group.table_pages > 0 else (
+        max(scan.descriptor.last_page, trailer.descriptor.last_page) + 1
+    )
+    distance = trailer.forward_distance_to(scan, circle)
     threshold = config.distance_threshold_extents * extent_size
     if distance <= threshold:
-        return no_wait
+        return ThrottleDecision(
+            wait=0.0, capped_by_fairness=False,
+            distance=distance, threshold=threshold,
+        )
 
     target = config.target_distance_extents * extent_size
     trailer_speed = max(trailer.speed, _MIN_SPEED)
@@ -75,9 +106,15 @@ def evaluate_throttle(
     )
     if allowance <= 0.0:
         scan.throttle_exempt = True
-        return ThrottleDecision(wait=0.0, capped_by_fairness=True)
+        return ThrottleDecision(
+            wait=0.0, capped_by_fairness=True,
+            distance=distance, threshold=threshold, allowance=allowance,
+        )
     capped = wait > allowance
     if capped:
         wait = allowance
         scan.throttle_exempt = True
-    return ThrottleDecision(wait=wait, capped_by_fairness=capped)
+    return ThrottleDecision(
+        wait=wait, capped_by_fairness=capped,
+        distance=distance, threshold=threshold, allowance=allowance,
+    )

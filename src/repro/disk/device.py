@@ -19,6 +19,12 @@ from repro.disk.stats import DiskStats
 from repro.sim.events import Event, SimulationError
 from repro.sim.kernel import Simulator
 from repro.sim.timeline import StepTimeline
+from repro.trace.events import (
+    DiskRequestComplete,
+    DiskRequestQueued,
+    DiskServiceStart,
+)
+from repro.trace.tracer import get_tracer
 
 
 @dataclass
@@ -111,6 +117,12 @@ class Disk:
         )
         self._queue.append(request)
         self._record_outstanding()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(DiskRequestQueued(
+                time=self.sim.now, start_page=start_page, n_pages=n_pages,
+                is_write=is_write, queue_len=len(self._queue),
+            ))
         if self._active is None:
             self._start_next()
         return request.completion
@@ -134,6 +146,15 @@ class Disk:
         )
         xfer_time = self.geometry.transfer_time(request.n_pages)
         service_time = seek_time + xfer_time
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(DiskServiceStart(
+                time=self.sim.now, start_page=request.start_page,
+                n_pages=request.n_pages, is_write=request.is_write,
+                sequential=sequential, seek_time=seek_time,
+                transfer_time=xfer_time,
+                wait_time=self.sim.now - request.submit_time,
+            ))
         self.sim.schedule(
             service_time,
             lambda: self._complete(request, seeked=not sequential, seek_time=seek_time,
@@ -172,5 +193,13 @@ class Disk:
             )
         self._active = None
         self._record_outstanding()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(DiskRequestComplete(
+                time=self.sim.now, start_page=request.start_page,
+                n_pages=request.n_pages, is_write=request.is_write,
+                service_time=self.sim.now - request.service_start,
+                total_time=self.sim.now - request.submit_time,
+            ))
         request.completion.succeed(request)
         self._start_next()

@@ -11,6 +11,8 @@ from repro.metrics.collector import QueryRecord
 from repro.scans.base import ScanResult
 from repro.scans.shared_scan import SharedTableScan
 from repro.scans.table_scan import TableScan
+from repro.trace.events import QueryFinished, QueryStarted
+from repro.trace.tracer import get_tracer
 
 
 @dataclass
@@ -83,6 +85,11 @@ def execute_query(
     result = QueryResult(
         name=spec.name, stream_id=stream_id, started_at=db.sim.now, finished_at=0.0
     )
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit(QueryStarted(
+            time=result.started_at, stream_id=stream_id, query=spec.name,
+        ))
     for index, step in enumerate(spec.steps):
         for repeat in range(step.repeats):
             step_result = yield from _execute_step(db, step, index)
@@ -90,6 +97,13 @@ def execute_query(
                 step_result.label = f"{step_result.label}#{repeat}"
             result.steps.append(step_result)
     result.finished_at = db.sim.now
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.emit(QueryFinished(
+            time=result.finished_at, stream_id=stream_id, query=spec.name,
+            elapsed=result.elapsed, pages_scanned=result.pages_scanned,
+            throttle_seconds=result.throttle_seconds,
+        ))
     db.metrics.record_query(
         QueryRecord(
             stream_id=stream_id,

@@ -12,10 +12,11 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # avoid a circular import; engine imports metrics
     from repro.engine.executor import WorkloadResult
+    from repro.trace.events import TraceEvent
 
 
 def workload_to_dict(result: "WorkloadResult", label: str = "") -> Dict:
@@ -94,6 +95,17 @@ def series_to_csv(series: Dict[str, List[float]]) -> str:
             row.append(f"{values[index]:.6f}" if index < len(values) else "")
         writer.writerow(row)
     return buffer.getvalue()
+
+
+def trace_to_jsonl(events: Sequence["TraceEvent"]) -> str:
+    """One JSON object per line for captured trace events.
+
+    Produces the same format :class:`repro.trace.sinks.JsonlSink` streams
+    to disk, for exporting a ring-buffer capture after the fact.
+    """
+    return "".join(
+        json.dumps(event.to_dict(), sort_keys=True) + "\n" for event in events
+    )
 
 
 def comparison_to_dict(base: "WorkloadResult", shared: "WorkloadResult") -> Dict:

@@ -6,6 +6,8 @@ from typing import Any, Callable, Generator, List, Optional
 
 from repro.sim.events import Event, EventQueue, SimulationError
 from repro.sim.process import Process
+from repro.trace.events import SimDispatch
+from repro.trace.tracer import get_tracer
 
 
 class Simulator:
@@ -115,6 +117,11 @@ class Simulator:
                         f"event queue time went backwards: {time} < {self._now}"
                     )
                 self._now = max(self._now, time)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.emit(
+                        SimDispatch(time=self._now, queue_len=len(self._queue))
+                    )
                 callback()
             if until is not None and until > self._now:
                 self._now = until

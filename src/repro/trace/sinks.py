@@ -1,0 +1,83 @@
+"""Trace sinks — where emitted events go.
+
+A sink is anything with ``write(event)`` and ``close()``.  Three are
+provided: a bounded in-memory ring buffer (the default for interactive
+inspection), a JSONL file writer (for offline analysis), and a null sink
+(swallows everything; useful to measure emission overhead in isolation).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from typing import IO, List, Optional, Union
+
+from repro.trace.events import TraceEvent
+
+
+class TraceSink:
+    """Base sink: subclasses override :meth:`write`."""
+
+    def write(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (default: nothing to do)."""
+
+
+class NullSink(TraceSink):
+    """Accepts and discards every event."""
+
+    def write(self, event: TraceEvent) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory.
+
+    ``capacity=None`` keeps everything (an unbounded collector, handy in
+    tests and short runs).  ``total_seen`` counts all writes, including
+    those that have since been pushed out of the buffer.
+    """
+
+    def __init__(self, capacity: Optional[int] = 10_000):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"ring buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+        self.total_seen = 0
+        self.counts_by_category: Counter = Counter()
+
+    def write(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+        self.total_seen += 1
+        self.counts_by_category[event.category] += 1
+
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of the retained events, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlSink(TraceSink):
+    """Writes one JSON object per event to a file or open stream."""
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.events_written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_dict()) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()

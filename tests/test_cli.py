@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
+from repro.trace import get_tracer
 
 
 class TestParser:
@@ -53,6 +56,35 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "overhead" in out
         assert "Base" in out
+
+    def test_trace_e1_tiny(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.jsonl"
+        assert main(["trace", "e1", "--scale", "0.05", "--streams", "1",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "traced" in out
+        assert "events over simulated" in out
+        lines = out_file.read_text().splitlines()
+        assert lines
+        categories = {json.loads(line)["category"] for line in lines}
+        assert {"disk", "buffer", "manager"} <= categories
+        # The CLI must uninstall its tracer when the run is over.
+        assert not get_tracer().enabled
+
+    def test_trace_parses_ring_option(self):
+        args = build_parser().parse_args(["trace", "e2", "--ring", "500"])
+        assert args.command == "trace"
+        assert args.ring == 500
+        assert args.out is None
+
+    def test_trace_bad_ring_is_clean_error(self):
+        with pytest.raises(SystemExit, match="--ring must be >= 1"):
+            main(["trace", "e1", "--ring", "0"])
+
+    def test_trace_unwritable_out_is_clean_error(self, tmp_path):
+        missing_dir = tmp_path / "missing" / "trace.jsonl"
+        with pytest.raises(SystemExit, match="cannot open --out"):
+            main(["trace", "e1", "--out", str(missing_dir)])
 
     def test_quickstart_tiny(self, capsys):
         assert main(["quickstart", "--scale", "0.05", "--streams", "2"]) == 0

@@ -84,6 +84,19 @@ class TestFormGroups:
         assert groups[0].leader.scan_id == 0  # position 90
         assert groups[0].trailer.scan_id == 1  # position 10
 
+    def test_wrapped_scan_grouped_with_scan_it_follows(self):
+        """Regression: a scan that wrapped past the range end (small
+        linear position) is just behind the scan it chases.  The old
+        linear gap (980 pages here) kept the pair apart; the circular
+        gap is 20."""
+        a, b = state(0, 990), state(1, 10)
+        groups = form_groups({"t": [a, b]}, pool_budget_pages=50)
+        assert len(groups) == 1
+        assert groups[0].trailer is a
+        assert groups[0].leader is b
+        assert groups[0].extent_pages == 20
+        assert b.is_leader and a.is_trailer
+
     def test_group_ids_unique(self):
         scans = [state(i, i * 300) for i in range(4)]
         groups = form_groups({"t": scans}, pool_budget_pages=10)
@@ -105,13 +118,20 @@ class TestFormGroups:
     )
     def test_partition_invariants(self, positions, budget):
         """Groups always partition the scan set, total extent respects the
-        budget, and each group's leader/trailer bracket its members."""
+        budget, and each group is a circular arc: walking the members from
+        the trailer, distances (in scan direction) never decrease, and
+        every member lies within the trailer→leader extent."""
         scans = [state(i, pos) for i, pos in enumerate(positions)]
         groups = form_groups({"t": scans}, pool_budget_pages=budget)
         seen = [m.scan_id for g in groups for m in g.members]
         assert sorted(seen) == sorted(s.scan_id for s in scans)
         assert sum(g.extent_pages for g in groups) <= max(budget, 0)
         for group in groups:
-            positions_in_group = [m.position for m in group.members]
-            assert group.trailer.position == min(positions_in_group)
-            assert group.leader.position == max(positions_in_group)
+            circle = group.table_pages
+            trailer = group.trailer
+            offsets = [
+                trailer.forward_distance_to(m, circle) for m in group.members
+            ]
+            assert offsets == sorted(offsets)
+            assert offsets[0] == 0
+            assert offsets[-1] == group.extent_pages <= max(budget, 0)

@@ -115,6 +115,38 @@ class TestLocationUpdates:
         manager.update_location(state.scan_id, 10)
         assert state.speed == pytest.approx(100.0)
 
+    def test_same_instant_update_not_double_counted(self):
+        """Regression: pages reported in a zero-elapsed-time update used
+        to stay in the bookkeeping and be counted again by the next
+        sample, doubling the measured speed."""
+        sim, manager = make_manager(config=SharingConfig(speed_smoothing=1.0))
+        state = manager.start_scan(full_scan_descriptor(speed=100.0))
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(state.scan_id, 100)
+        manager.update_location(state.scan_id, 200)  # same sim instant
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(state.scan_id, 300)
+        assert state.speed == pytest.approx(100.0)
+
+    def test_idle_interval_not_counted_into_next_sample(self):
+        """Regression: an update reporting no progress used to leave the
+        sample window open, diluting the next speed measurement over the
+        idle time."""
+        sim, manager = make_manager(config=SharingConfig(speed_smoothing=1.0))
+        state = manager.start_scan(full_scan_descriptor(speed=100.0))
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(state.scan_id, 100)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(state.scan_id, 100)  # stalled, no progress
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        manager.update_location(state.scan_id, 200)
+        assert state.speed == pytest.approx(100.0)
+
 
 class TestThrottlingThroughManager:
     def test_leader_receives_wait(self):
@@ -135,6 +167,32 @@ class TestThrottlingThroughManager:
         assert wait > 0
         assert manager.stats.throttle_waits == 1
         assert manager.stats.total_throttle_time == pytest.approx(wait)
+
+    def test_leader_keeps_throttling_after_wrap(self):
+        """Regression (the paper's scans are circular): a staggered pair
+        where the leader wraps past the range end must keep throttling.
+        The old linear ``leader.position - trailer.position`` went
+        negative after the wrap and never throttled again."""
+        sim, manager = make_manager()
+
+        def advance(dt):
+            sim.schedule(dt, lambda: None)
+            sim.run()
+
+        leader = manager.start_scan(full_scan_descriptor())
+        trailer = manager.start_scan(full_scan_descriptor())
+        advance(1.0)
+        manager.update_location(trailer.scan_id, 900)
+        advance(1.0)
+        wait_before_wrap = manager.update_location(leader.scan_id, 980)
+        assert wait_before_wrap > 0  # distance 80, pre-wrap
+        advance(1.0)
+        manager.update_location(trailer.scan_id, 950)
+        advance(1.0)
+        wait_after_wrap = manager.update_location(leader.scan_id, 1050)
+        assert leader.position == 50  # wrapped past the range end
+        assert leader.is_leader
+        assert wait_after_wrap > 0  # circular distance 100, still throttled
 
     def test_no_wait_when_sharing_disabled(self):
         sim, manager = make_manager(config=SharingConfig(enabled=False))

@@ -40,6 +40,18 @@ class TestDescriptor:
         with pytest.raises(ValueError):
             ScanDescriptor("t", 0, 9, estimated_speed=0.0)
 
+    def test_estimated_pages_zero_means_zero_time(self):
+        """Regression: an explicit estimate of 0 pages is falsy but must
+        not silently fall back to the full range."""
+        desc = ScanDescriptor("t", 0, 99, estimated_speed=50.0,
+                              estimated_pages=0)
+        assert desc.estimated_total_time == 0.0
+
+    def test_negative_estimated_pages_rejected(self):
+        with pytest.raises(ValueError):
+            ScanDescriptor("t", 0, 99, estimated_speed=50.0,
+                           estimated_pages=-1)
+
 
 class TestPosition:
     def test_starts_at_start_page(self):

@@ -51,8 +51,10 @@ class TestThrottleDecision:
 
     def test_wait_capped_per_update(self):
         config = SharingConfig(max_wait_per_update=0.1)
+        # Half the table apart: circularly still leader/trailer (a gap
+        # of 900 would flip the roles, since 900 ahead == 100 behind).
         leader, _, group = make_pair(
-            leader_pos=900, trailer_pos=0, trailer_speed=1.0
+            leader_pos=500, trailer_pos=0, trailer_speed=1.0
         )
         decision = evaluate_throttle(leader, group, config, EXTENT)
         assert decision.wait == pytest.approx(0.1)
@@ -80,6 +82,51 @@ class TestThrottleDecision:
         trailer.finished = True
         assert not evaluate_throttle(leader, group, SharingConfig(), EXTENT).throttled
 
+    def test_throttle_survives_leader_wrap(self):
+        """Regression: a leader that wrapped past the range end sits at a
+        *smaller* linear position than its trailer (here 50 vs 900, i.e.
+        150 pages ahead circularly).  The old linear distance went
+        negative and silently disabled throttling for the rest of the
+        scan."""
+        leader, _, group = make_pair(leader_pos=50, trailer_pos=900)
+        decision = evaluate_throttle(leader, group, SharingConfig(), EXTENT)
+        assert decision.throttled
+        assert decision.distance == 150
+
+    def test_decision_reports_inputs(self):
+        config = SharingConfig()
+        leader, _, group = make_pair(leader_pos=200, trailer_pos=100)
+        decision = evaluate_throttle(leader, group, config, EXTENT)
+        assert decision.distance == 100
+        assert decision.threshold == config.distance_threshold_extents * EXTENT
+        assert decision.allowance > 0
+
+    def test_exempt_trailer_is_not_an_anchor(self):
+        """A fairness-exempted scan runs free; the leader must not be
+        slowed down to keep pace with it."""
+        leader, trailer, group = make_pair(leader_pos=200, trailer_pos=100)
+        trailer.throttle_exempt = True
+        decision = evaluate_throttle(leader, group, SharingConfig(), EXTENT)
+        assert not decision.throttled
+
+    def test_finished_trailer_anchor_moves_up(self):
+        """With the rear member finished, the wait is sized from the next
+        member still scanning, not skipped entirely."""
+        def make(scan_id, pos, speed=100.0):
+            descriptor = ScanDescriptor("t", 0, 999, estimated_speed=speed)
+            return ScanState(scan_id=scan_id, descriptor=descriptor,
+                             start_page=pos, start_time=0.0, speed=speed)
+
+        rear, mid, front = make(0, 0), make(1, 60, speed=50.0), make(2, 160)
+        groups = form_groups({"t": [rear, mid, front]}, pool_budget_pages=1000)
+        assert len(groups) == 1
+        rear.finished = True
+        config = SharingConfig(max_wait_per_update=1e9)
+        decision = evaluate_throttle(front, groups[0], config, EXTENT)
+        assert decision.distance == 100  # measured from mid, not rear
+        expected = (100 - config.target_distance_extents * EXTENT) / 50.0
+        assert decision.wait == pytest.approx(expected)
+
 
 class TestFairnessCap:
     def test_cap_exempts_scan(self):
@@ -102,7 +149,7 @@ class TestFairnessCap:
     def test_wait_clamped_to_remaining_allowance(self):
         config = SharingConfig(max_wait_per_update=1e9)
         leader, _, group = make_pair(
-            leader_pos=900, trailer_pos=0, trailer_speed=1.0
+            leader_pos=500, trailer_pos=0, trailer_speed=1.0
         )
         allowance = 0.8 * leader.estimated_total_time
         leader.accumulated_delay = allowance - 0.05

@@ -10,6 +10,9 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.config import SharingConfig
+from repro.core.grouping import form_groups
+from repro.core.scan_state import ScanDescriptor, ScanState
+from repro.core.throttle import evaluate_throttle
 from repro.engine.executor import run_workload
 from repro.workloads.synthetic import uniform_scan_query
 
@@ -114,6 +117,40 @@ class TestWorkloadProperties:
         result = run_workload(db, streams, stagger_list=delays)
         extent = table.extent_size
         assert result.pages_read <= demanded + 2 * extent * len(specs)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        positions=st.lists(
+            st.integers(min_value=0, max_value=999), min_size=2, max_size=8
+        ),
+        budget=st.integers(min_value=0, max_value=2000),
+        speeds=st.lists(
+            st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=8
+        ),
+    )
+    def test_throttle_distance_always_in_circle(self, positions, budget, speeds):
+        """For any grouping, every throttle evaluation measures a
+        distance inside [0, table_pages) — circular, never negative —
+        and never produces a negative wait."""
+        table_pages = 1000
+        scans = []
+        for index, pos in enumerate(positions):
+            speed = speeds[index % len(speeds)]
+            descriptor = ScanDescriptor(
+                "t", 0, table_pages - 1, estimated_speed=speed
+            )
+            scans.append(ScanState(
+                scan_id=index, descriptor=descriptor, start_page=pos,
+                start_time=0.0, speed=speed,
+            ))
+        groups = form_groups({"t": scans}, pool_budget_pages=budget)
+        config = SharingConfig()
+        for group in groups:
+            for scan in group.members:
+                decision = evaluate_throttle(scan, group, config,
+                                             extent_size=16)
+                assert 0 <= decision.distance < table_pages
+                assert decision.wait >= 0.0
 
     @settings(max_examples=10, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
