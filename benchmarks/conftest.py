@@ -5,6 +5,10 @@ prints it.  ``REPRO_BENCH_SCALE`` (default 0.25) and
 ``REPRO_BENCH_STREAMS`` (default 5) trade fidelity for runtime; scale 1.0
 reproduces the headline configuration (lineitem 1600 pages, bufferpool
 ≈ 5 % of the database) at a few minutes per benchmark.
+
+Benchmarks dispatch through :mod:`repro.experiments.registry` — the same
+table the CLI and the parallel runner use — so an experiment renamed or
+added in one place is renamed or added everywhere.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import os
 import pytest
 
 from repro.experiments.harness import ExperimentSettings
+from repro.experiments.registry import all_experiments, get
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 BENCH_STREAMS = int(os.environ.get("REPRO_BENCH_STREAMS", "5"))
@@ -23,6 +28,17 @@ BENCH_STREAMS = int(os.environ.get("REPRO_BENCH_STREAMS", "5"))
 def settings() -> ExperimentSettings:
     """Benchmark-wide experiment settings."""
     return ExperimentSettings(scale=BENCH_SCALE, n_streams=BENCH_STREAMS)
+
+
+@pytest.fixture(scope="session")
+def registry_ids():
+    """Every registered experiment id (for coverage assertions)."""
+    return [spec.name for spec in all_experiments()]
+
+
+def run_experiment(name: str, settings: ExperimentSettings):
+    """Run one registered experiment and return its raw result object."""
+    return get(name).execute(settings)
 
 
 def once(benchmark, func):

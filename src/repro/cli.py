@@ -4,13 +4,17 @@ Usage::
 
     python -m repro list
     python -m repro run e4 --scale 0.35 --streams 5
-    python -m repro run a3 --scale 0.2
+    python -m repro run-all --jobs 4 --out results.json
+    python -m repro sweep a3 --param scale --values 0.1,0.2,0.4
     python -m repro trace e2 --out trace.jsonl
     python -m repro quickstart
 
 ``run`` executes one experiment (see ``list`` for ids) and prints the
 same rows/series the paper's corresponding table or figure reports.
-``trace`` runs the same experiment with the structured-event tracer
+``run-all`` fans the whole battery out over a process pool with
+deterministic per-experiment seeds and an on-disk result cache;
+``sweep`` does the same for one experiment across a parameter grid.
+``trace`` runs one experiment with the structured-event tracer
 attached, prints an event summary, and can stream the full trace to a
 JSONL file for offline analysis.
 """
@@ -19,89 +23,29 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments import (
-    ExperimentSettings,
-    ablation_bufferpool_sweep,
-    ablation_disk_array,
-    ablation_disk_scheduler,
-    ablation_fairness_cap,
-    ablation_policies,
-    ablation_priority,
-    ablation_threshold,
-    ablation_throttling,
-    e1_overhead,
-    e2_staggered_q6,
-    e3_staggered_q1,
-    e4_throughput,
-    e5_reads_timeline,
-    e6_seeks_timeline,
-    e7_per_stream,
-    e8_per_query,
-    e9_stream_scaling,
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.registry import (
+    REGISTRY,
+    UnknownExperimentError,
+    all_experiments,
+    get,
+    render_result,
 )
 from repro.metrics.report import format_table
 
 
-def _render_bufferpool_sweep(settings: ExperimentSettings) -> str:
-    comparisons = ablation_bufferpool_sweep(settings)
-    rows = [
-        [f"{fraction:.0%}", c.base.makespan, c.shared.makespan,
-         c.end_to_end_gain, c.disk_read_gain]
-        for fraction, c in sorted(comparisons.items())
-    ]
-    return format_table(
-        ["pool", "Base (s)", "SS (s)", "e2e gain %", "read gain %"], rows
-    )
-
-
-def _render_disk_array(settings: ExperimentSettings) -> str:
-    comparisons = ablation_disk_array(settings)
-    rows = [
-        [n, c.base.makespan, c.shared.makespan, c.end_to_end_gain,
-         c.disk_read_gain]
-        for n, c in sorted(comparisons.items())
-    ]
-    return format_table(
-        ["disks", "Base (s)", "SS (s)", "e2e gain %", "read gain %"], rows
-    )
+def _make_renderer(spec):
+    return lambda settings: render_result(spec.execute(settings))
 
 
 #: Experiment id -> (description, runner returning printable text).
-EXPERIMENTS: Dict[str, tuple] = {
-    "e1": ("single-stream overhead (paper: < 1 %)",
-           lambda s: e1_overhead(s).render()),
-    "e2": ("3 staggered I/O-bound queries (Figure-15 analog)",
-           lambda s: e2_staggered_q6(s).render()),
-    "e3": ("3 staggered CPU-bound queries (Figure-16 analog)",
-           lambda s: e3_staggered_q1(s).render()),
-    "e4": ("multi-stream throughput gains (Table-1 analog)",
-           lambda s: e4_throughput(s).render()),
-    "e5": ("disk reads over time (Figure-17 analog)",
-           lambda s: e5_reads_timeline(s).render()),
-    "e6": ("disk seeks over time (Figure-18 analog)",
-           lambda s: e6_seeks_timeline(s).render()),
-    "e7": ("per-stream gains (Figure-19 analog)",
-           lambda s: e7_per_stream(s).render()),
-    "e8": ("per-query gains (Figure-20 analog)",
-           lambda s: e8_per_query(s).render()),
-    "e9": ("throughput vs number of streams (scalability claim)",
-           lambda s: e9_stream_scaling(s).render()),
-    "a1": ("ablation: throttling on/off",
-           lambda s: ablation_throttling(s).render()),
-    "a2": ("ablation: page prioritization on/off",
-           lambda s: ablation_priority(s).render()),
-    "a3": ("ablation: drift-threshold sweep",
-           lambda s: ablation_threshold(s).render()),
-    "a4": ("ablation: bufferpool-size sweep", _render_bufferpool_sweep),
-    "a5": ("related work: victim-policy comparison",
-           lambda s: ablation_policies(s).render()),
-    "a6": ("ablation: fairness-cap sweep",
-           lambda s: ablation_fairness_cap(s).render()),
-    "a7": ("ablation: disk scheduler vs coordination",
-           lambda s: ablation_disk_scheduler(s).render()),
-    "a9": ("ablation: spindle count vs coordination", _render_disk_array),
+#: A thin view over :mod:`repro.experiments.registry`, kept for
+#: backwards compatibility; new code should use the registry directly.
+EXPERIMENTS: Dict[str, Tuple[str, object]] = {
+    spec.name: (spec.description, _make_renderer(spec))
+    for spec in all_experiments()
 }
 
 
@@ -118,6 +62,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run one experiment")
     _add_experiment_args(run)
+
+    run_all = subparsers.add_parser(
+        "run-all",
+        help="run the whole battery in parallel, with result caching",
+    )
+    _add_settings_args(run_all)
+    _add_runner_args(run_all)
+    run_all.add_argument(
+        "--only", metavar="IDS", default=None,
+        help="comma-separated experiment ids (default: every experiment)",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run one experiment across a parameter grid"
+    )
+    sweep.add_argument("experiment", help="experiment id (see 'list')")
+    _add_settings_args(sweep)
+    _add_runner_args(sweep)
+    sweep.add_argument("--param", required=True,
+                       help="ExperimentSettings field to sweep "
+                            "(e.g. scale, n_streams, policy)")
+    sweep.add_argument("--values", required=True, metavar="V1,V2,...",
+                       help="comma-separated grid values")
 
     trace = subparsers.add_parser(
         "trace", help="run one experiment with event tracing attached"
@@ -137,9 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
-                        help="experiment id")
+def _add_settings_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.25,
                         help="database scale factor (1.0 = headline size)")
     parser.add_argument("--streams", type=int, default=5,
@@ -149,30 +114,119 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                         help="bufferpool victim policy")
 
 
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiment", help="experiment id (see 'list')")
+    _add_settings_args(parser)
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = run inline)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the consolidated results.json artifact")
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    return ExperimentSettings(
+        scale=args.scale, n_streams=args.streams, seed=args.seed,
+        policy=args.policy,
+    )
+
+
 def _cmd_list() -> str:
-    rows = [[exp_id, description] for exp_id, (description, _runner)
-            in sorted(EXPERIMENTS.items())]
+    rows = [[spec.name, spec.description] for spec in all_experiments()]
     return format_table(["id", "experiment"], rows)
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
-    settings = ExperimentSettings(
-        scale=args.scale, n_streams=args.streams, seed=args.seed,
-        policy=args.policy,
+    settings = _settings_from_args(args)
+    spec = get(args.experiment)
+    header = (
+        f"{spec.name.upper()} — {spec.description} "
+        f"(scale {args.scale}, {args.streams} streams)"
     )
-    description, runner = EXPERIMENTS[args.experiment]
-    header = f"{args.experiment.upper()} — {description} (scale {args.scale}, {args.streams} streams)"
-    return header + "\n" + runner(settings)
+    return header + "\n" + render_result(spec.execute(settings))
+
+
+def _suite_report(suite, header: str) -> str:
+    rows = [
+        [task.label, task.cache, f"{task.elapsed_seconds:.2f}", task.digest[:12]]
+        for task in suite.tasks
+    ]
+    table = format_table(["experiment", "cache", "seconds", "digest"], rows)
+    footer = (
+        f"{len(suite.tasks)} experiments, {suite.cache_hits} cache hits, "
+        f"{suite.wall_seconds:.2f}s wall ({suite.jobs} jobs); "
+        f"suite digest {suite.suite_digest()[:12]}"
+    )
+    return header + "\n" + table + "\n" + footer
+
+
+def _cmd_run_all(args: argparse.Namespace) -> str:
+    from repro.experiments.runner import run_suite
+    from repro.metrics.export import write_suite_json
+
+    settings = _settings_from_args(args)
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        for name in only:
+            get(name)  # fail fast with one clean error line
+    suite = run_suite(
+        settings, experiments=only, jobs=args.jobs,
+        use_cache=not args.no_cache, cache_dir=args.cache_dir,
+    )
+    text = _suite_report(
+        suite,
+        f"RUN-ALL — scale {args.scale}, {args.streams} streams, "
+        f"seed {args.seed}",
+    )
+    if args.out:
+        write_suite_json(suite, args.out)
+        text += f"\nresults written to {args.out}"
+    return text
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.experiments.runner import run_sweep
+    from repro.metrics.export import write_suite_json
+
+    settings = _settings_from_args(args)
+    spec = get(args.experiment)
+    values = [token.strip() for token in args.values.split(",") if token.strip()]
+    if not values:
+        raise SystemExit("repro sweep: error: --values must name at least "
+                         "one grid point")
+    try:
+        suite = run_sweep(
+            spec.name, args.param, values, settings, jobs=args.jobs,
+            use_cache=not args.no_cache, cache_dir=args.cache_dir,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro sweep: error: {exc}")
+    parts = [_suite_report(
+        suite,
+        f"SWEEP {spec.name.upper()} — {args.param} over "
+        f"{', '.join(values)} (scale {args.scale}, {args.streams} streams)",
+    )]
+    for task in suite.tasks:
+        parts.append(f"\n--- {task.label} ---\n{task.render}")
+    if args.out:
+        write_suite_json(suite, args.out)
+        parts.append(f"\nresults written to {args.out}")
+    return "\n".join(parts)
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:
     from repro.trace import JsonlSink, RingBufferSink, render_summary, tracing
 
-    settings = ExperimentSettings(
-        scale=args.scale, n_streams=args.streams, seed=args.seed,
-        policy=args.policy,
-    )
-    description, runner = EXPERIMENTS[args.experiment]
+    settings = _settings_from_args(args)
+    spec = get(args.experiment)
     if args.ring < 1:
         raise SystemExit(f"repro trace: error: --ring must be >= 1, got {args.ring}")
     ring = RingBufferSink(capacity=args.ring)
@@ -185,9 +239,9 @@ def _cmd_trace(args: argparse.Namespace) -> str:
                 f"repro trace: error: cannot open --out {args.out!r}: {exc}"
             )
     with tracing(*sinks):
-        body = runner(settings)
+        body = render_result(spec.execute(settings))
     header = (
-        f"{args.experiment.upper()} — {description} "
+        f"{spec.name.upper()} — {spec.description} "
         f"(scale {args.scale}, {args.streams} streams, traced)"
     )
     text = header + "\n" + body + "\n\n"
@@ -216,14 +270,19 @@ def _cmd_quickstart(args: argparse.Namespace) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        print(_cmd_list())
-    elif args.command == "run":
-        print(_cmd_run(args))
-    elif args.command == "trace":
-        print(_cmd_trace(args))
-    elif args.command == "quickstart":
-        print(_cmd_quickstart(args))
+    commands = {
+        "list": lambda: _cmd_list(),
+        "run": lambda: _cmd_run(args),
+        "run-all": lambda: _cmd_run_all(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "trace": lambda: _cmd_trace(args),
+        "quickstart": lambda: _cmd_quickstart(args),
+    }
+    try:
+        print(commands[args.command]())
+    except UnknownExperimentError as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

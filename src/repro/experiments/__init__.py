@@ -13,6 +13,24 @@ from repro.experiments.harness import (
     compare_modes,
     run_mode,
 )
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    UnknownExperimentError,
+    all_experiments,
+    metrics_of,
+    render_result,
+)
+from repro.experiments.runner import (
+    ExperimentTask,
+    ResultCache,
+    SuiteResult,
+    TaskResult,
+    derive_seed,
+    execute_task,
+    run_suite,
+    run_sweep,
+)
 from repro.experiments.experiments import (
     ablation_bufferpool_sweep,
     ablation_disk_array,
@@ -36,7 +54,21 @@ from repro.experiments.experiments import (
 __all__ = [
     "Comparison",
     "ExperimentSettings",
+    "ExperimentSpec",
+    "ExperimentTask",
     "ModeResult",
+    "REGISTRY",
+    "ResultCache",
+    "SuiteResult",
+    "TaskResult",
+    "UnknownExperimentError",
+    "all_experiments",
+    "derive_seed",
+    "execute_task",
+    "metrics_of",
+    "render_result",
+    "run_suite",
+    "run_sweep",
     "ablation_bufferpool_sweep",
     "ablation_disk_array",
     "ablation_disk_scheduler",

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.buffer.pool import BufferPool
@@ -11,6 +13,25 @@ from repro.engine.database import Database, SystemConfig
 from repro.core.config import SharingConfig
 from repro.sim.kernel import Simulator
 from repro.workloads.synthetic import simple_table_schema
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite tests/golden/ reference files from the current run",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """True when golden files should be rewritten instead of compared.
+
+    Enabled by ``pytest --regen-golden`` or ``REPRO_REGEN_GOLDEN=1``.
+    """
+    return bool(
+        request.config.getoption("--regen-golden")
+        or os.environ.get("REPRO_REGEN_GOLDEN")
+    )
 
 
 @pytest.fixture

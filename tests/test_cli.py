@@ -22,13 +22,29 @@ class TestParser:
         assert args.streams == 3
         assert args.seed == 7
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "e99"])
-
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_run_all_parses_runner_options(self):
+        args = build_parser().parse_args(
+            ["run-all", "--jobs", "4", "--no-cache", "--out", "r.json",
+             "--only", "e1,e4"]
+        )
+        assert args.command == "run-all"
+        assert args.jobs == 4
+        assert args.no_cache
+        assert args.out == "r.json"
+        assert args.only == "e1,e4"
+
+    def test_sweep_requires_param_and_values(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "e4"])
+        args = build_parser().parse_args(
+            ["sweep", "e4", "--param", "n_streams", "--values", "2,4"]
+        )
+        assert args.param == "n_streams"
+        assert args.values == "2,4"
 
 
 class TestRegistry:
@@ -91,3 +107,79 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "end-to-end (s)" in out
         assert "pages read" in out
+
+
+class TestUnknownExperiment:
+    """`repro run <bad id>` must fail with one clean line, no traceback."""
+
+    def test_run_unknown_exits_nonzero_with_one_line(self, capsys):
+        assert main(["run", "e99"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = [line for line in captured.err.splitlines() if line]
+        assert len(lines) == 1
+        assert "unknown experiment 'e99'" in lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_trace_unknown_exits_nonzero(self, capsys):
+        assert main(["trace", "e99"]) == 2
+        assert "unknown experiment 'e99'" in capsys.readouterr().err
+
+    def test_run_all_unknown_only_exits_nonzero(self, capsys):
+        assert main(["run-all", "--only", "e1,bogus", "--no-cache"]) == 2
+        assert "unknown experiment 'bogus'" in capsys.readouterr().err
+
+    def test_sweep_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["sweep", "e99", "--param", "scale",
+                     "--values", "0.1"]) == 2
+        assert "unknown experiment 'e99'" in capsys.readouterr().err
+
+
+class TestRunAll:
+    def test_run_all_subset_writes_artifact(self, capsys, tmp_path):
+        out_file = tmp_path / "results.json"
+        assert main([
+            "run-all", "--only", "e1", "--scale", "0.05", "--streams", "1",
+            "--cache-dir", str(tmp_path / "cache"), "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RUN-ALL" in out
+        assert "miss" in out
+        artifact = json.loads(out_file.read_text())
+        assert artifact["schema"] == "repro-suite-v1"
+        assert [entry["experiment"] for entry in artifact["experiments"]] == ["e1"]
+        assert artifact["experiments"][0]["cache"] == "miss"
+        assert artifact["experiments"][0]["metrics"]["base_makespan"] > 0
+
+    def test_run_all_second_run_hits_cache(self, capsys, tmp_path):
+        argv = ["run-all", "--only", "e1", "--scale", "0.05",
+                "--streams", "1", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cache hits" in out
+
+
+class TestSweep:
+    def test_sweep_tiny_grid(self, capsys, tmp_path):
+        out_file = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "e1", "--param", "scale", "--values", "0.05",
+            "--streams", "1", "--no-cache", "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SWEEP E1" in out
+        assert "e1[scale=0.05]" in out
+        artifact = json.loads(out_file.read_text())
+        assert artifact["experiments"][0]["sweep_point"] == "scale=0.05"
+
+    def test_sweep_unknown_param_is_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown sweep parameter"):
+            main(["sweep", "e1", "--param", "bogus", "--values", "1",
+                  "--no-cache"])
+
+    def test_sweep_empty_values_is_clean_error(self):
+        with pytest.raises(SystemExit, match="at least one grid point"):
+            main(["sweep", "e1", "--param", "scale", "--values", ",",
+                  "--no-cache"])

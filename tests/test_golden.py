@@ -1,0 +1,93 @@
+"""Golden-result test: a pinned staggered two-scan scenario.
+
+A small E2-style run (two staggered Q6 scans, Base vs SS) is replayed
+on every test run and compared field-by-field against a reference
+checked into ``tests/golden/``.  Any change to the simulator, the
+sharing mechanism, the tracer, or the workload generator that moves a
+single number or event count fails here with the exact diverging field.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --regen-golden
+    # or: REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden.py
+
+then commit the updated golden file alongside the code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.experiments import e2_staggered_q6
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.registry import metrics_of
+from repro.experiments.runner import first_divergence
+from repro.trace import RingBufferSink, tracing
+from repro.trace.summary import summarize
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_FILE = GOLDEN_DIR / "staggered_two_scan.json"
+
+#: Pinned scenario: small enough to run in under a second, big enough
+#: that the two scans genuinely overlap and a scan join happens.
+SCENARIO = ExperimentSettings(scale=0.2, n_streams=2, seed=123)
+N_RUNS = 2
+
+
+def _run_scenario() -> dict:
+    ring = RingBufferSink(capacity=500_000)
+    with tracing(ring):
+        result = e2_staggered_q6(SCENARIO, n_runs=N_RUNS)
+    summary = summarize(ring.events())
+    assert ring.total_seen == summary["n_events"], (
+        "ring buffer overflowed; raise its capacity so the golden trace "
+        "summary covers every event"
+    )
+    return {
+        "scenario": {
+            "experiment": "e2",
+            "n_runs": N_RUNS,
+            "scale": SCENARIO.scale,
+            "n_streams": SCENARIO.n_streams,
+            "seed": SCENARIO.seed,
+        },
+        "metrics": metrics_of(result),
+        "trace": {
+            "n_events": summary["n_events"],
+            "first_time": summary["first_time"],
+            "last_time": summary["last_time"],
+            "counts": summary["counts"],
+        },
+    }
+
+
+def test_staggered_two_scan_matches_golden(regen_golden):
+    actual = _run_scenario()
+    if regen_golden or not GOLDEN_FILE.exists():
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        GOLDEN_FILE.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        assert GOLDEN_FILE.exists()
+        return
+    golden = json.loads(GOLDEN_FILE.read_text())
+    divergence = first_divergence(golden, actual)
+    assert divergence is None, (
+        f"staggered two-scan scenario diverged from tests/golden/"
+        f"{GOLDEN_FILE.name} at {divergence}; if this change is "
+        f"intentional, regenerate with --regen-golden (or "
+        f"REPRO_REGEN_GOLDEN=1) and commit the new golden file"
+    )
+
+
+def test_golden_file_is_committed():
+    """The reference must exist in the tree, not be a regen artifact."""
+    assert GOLDEN_FILE.exists(), (
+        "tests/golden/staggered_two_scan.json is missing; run with "
+        "--regen-golden once and commit it"
+    )
+    golden = json.loads(GOLDEN_FILE.read_text())
+    assert golden["scenario"]["n_runs"] == N_RUNS
+    assert golden["trace"]["n_events"] > 0
+    assert golden["metrics"]["base_makespan"] > 0

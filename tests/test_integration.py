@@ -3,9 +3,13 @@
 These run full workloads through every layer (simulator, disk, pool,
 storage, manager, engine) and assert the *directional* properties the
 paper reports — the benchmark harness then measures the magnitudes.
+
+Marked ``slow``: the fast CI lane (``-m "not slow"``) skips this module.
 """
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.core.config import SharingConfig
 from repro.engine.database import SystemConfig

@@ -4,9 +4,13 @@ These run complete concurrent-scan simulations with randomized speed
 mixes and check the *dynamic* guarantees the unit tests cannot: drift
 stays controlled, throttling respects the fairness cap end to end, and
 the system always drains.
+
+Marked ``slow``: the fast CI lane (``-m "not slow"``) skips this module.
 """
 
 import pytest
+
+pytestmark = pytest.mark.slow
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.config import SharingConfig
