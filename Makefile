@@ -1,0 +1,25 @@
+# Entry points for the common developer loops.  Everything runs against
+# the source tree directly (PYTHONPATH=src), no install required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast bench bench-quick bench-check bench-guards
+
+test:            ## full tier-1 suite
+	$(PYTHON) -m pytest -x -q
+
+test-fast:       ## everything not marked slow
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+bench:           ## regenerate the committed kernel perf baseline
+	$(PYTHON) -m repro bench --out BENCH_kernel.json
+
+bench-quick:     ## quick benchmark run, report only
+	$(PYTHON) -m repro bench --quick
+
+bench-check:     ## quick run gated against the committed baseline (CI gate)
+	$(PYTHON) -m repro bench --quick --check BENCH_kernel.json --tolerance 0.20
+
+bench-guards:    ## pytest-level perf guards (fix-hit speedup, dispatch sanity)
+	$(PYTHON) -m pytest -x -q benchmarks/perf

@@ -1,0 +1,27 @@
+"""End-to-end perf benchmark: the staggered-Q6 experiment (E2).
+
+This is the experiment the acceptance gate tracks: the same
+``execute_task`` path as ``run-all --jobs 1``, at battery defaults.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.runner import ExperimentTask, execute_task
+from repro.perf.bench import bench_staggered_q6
+
+
+def test_staggered_q6_wall_clock_measured():
+    wall = bench_staggered_q6(repeats=1)
+    assert wall > 0
+
+
+def test_staggered_q6_digest_stable_across_timed_runs():
+    """Timing instrumentation must not perturb the metrics digest."""
+    task = ExperimentTask(
+        experiment="e2",
+        settings=ExperimentSettings(scale=0.1, n_streams=2, seed=42),
+    )
+    first = execute_task(task)
+    second = execute_task(task)
+    assert first.digest == second.digest

@@ -1,0 +1,34 @@
+"""Microbenchmarks for the bufferpool fix paths.
+
+The headline assertion lives here: the ``try_fix`` hit fast path must be
+at least 3x faster than driving the generator ``fix`` path for the same
+resident-page workload.  Both sides run in the same process back to
+back, so the ratio is robust to machine speed and CI noise.
+"""
+
+from __future__ import annotations
+
+from repro.perf.bench import bench_fix_hit, bench_fix_hit_generator, bench_fix_miss
+
+_ITERS = 20_000
+
+
+def test_fix_hit_fast_path_speedup():
+    """try_fix must beat the pre-PR generator hit path by >= 3x."""
+    fast = max(bench_fix_hit(_ITERS) for _ in range(3))
+    slow = max(bench_fix_hit_generator(_ITERS) for _ in range(3))
+    ratio = fast / slow
+    assert ratio >= 3.0, (
+        f"try_fix only {ratio:.2f}x faster than the generator hit path "
+        f"({fast:,.0f} vs {slow:,.0f} ops/s); fast path degraded"
+    )
+
+
+def test_fix_hit_throughput_sane():
+    """The fast path should sustain well over 100k pins/sec anywhere."""
+    assert bench_fix_hit(_ITERS) > 100_000
+
+
+def test_fix_miss_path_completes():
+    """Miss-path benchmark runs a full prefetch+evict workload cleanly."""
+    assert bench_fix_miss(512) > 0

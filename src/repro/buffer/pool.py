@@ -30,9 +30,14 @@ from repro.disk.device import Disk
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.trace.events import BufferEvict, BufferFix, BufferRelease
-from repro.trace.tracer import get_tracer
+from repro.trace.tracer import TracerHandle
 
 AddressOf = Callable[[PageKey], int]
+
+#: Cached tracer reference shared by every pool hot path (``try_fix``,
+#: ``unfix``, ``_trace_fix``, ``_evict``) — one generation-checked handle
+#: instead of a ``get_tracer()`` registry lookup per event.
+_TRACER = TracerHandle()
 
 
 class BufferPoolError(RuntimeError):
@@ -102,6 +107,36 @@ class BufferPool:
     # Fix / unfix
     # ------------------------------------------------------------------
 
+    def try_fix(self, key: PageKey) -> Optional[Frame]:
+        """Non-generator hit fast path: pin ``key`` if it is resident.
+
+        Scans call this first; a resident page then costs one dict lookup
+        and a handful of attribute updates instead of a generator frame.
+        Returns ``None`` on a miss or an in-flight read **without touching
+        any counter**, so the caller's fall back to :meth:`fix` performs
+        the full classification and the accounting identity
+        ``logical = hits + misses + inflight_waits`` is preserved exactly.
+        The trace event emitted on a hit is identical to the generator
+        path's.
+        """
+        frame = self._frames.get(key)
+        if frame is None:
+            return None
+        stats = self.stats
+        stats.logical_reads += 1
+        stats.hits += 1
+        frame.pin_count += 1
+        frame.last_used_at = self.sim.now
+        frame.access_count += 1
+        self.policy.on_hit(key)
+        tracer = _TRACER.active()
+        if tracer is not None:
+            tracer.emit(BufferFix(
+                time=self.sim.now, space_id=key.space_id, page_no=key.page_no,
+                outcome="hit",
+            ))
+        return frame
+
     def fix(
         self, key: PageKey, prefetch: Optional[Sequence[PageKey]] = None
     ) -> Generator[Event, object, Frame]:
@@ -168,8 +203,8 @@ class BufferPool:
         frame.pin_count -= 1
         frame.priority = priority
         self.policy.on_release(key, priority)
-        tracer = get_tracer()
-        if tracer.enabled:
+        tracer = _TRACER.active()
+        if tracer is not None:
             tracer.emit(BufferRelease(
                 time=self.sim.now, space_id=key.space_id, page_no=key.page_no,
                 priority=int(priority),
@@ -179,8 +214,8 @@ class BufferPool:
     release = unfix
 
     def _trace_fix(self, key: PageKey, outcome: str) -> None:
-        tracer = get_tracer()
-        if tracer.enabled:
+        tracer = _TRACER.active()
+        if tracer is not None:
             tracer.emit(BufferFix(
                 time=self.sim.now, space_id=key.space_id, page_no=key.page_no,
                 outcome=outcome,
@@ -323,8 +358,8 @@ class BufferPool:
             self.policy.on_evict(victim_key)
             self.stats.evictions += 1
             freed += 1
-            tracer = get_tracer()
-            if tracer.enabled:
+            tracer = _TRACER.active()
+            if tracer is not None:
                 tracer.emit(BufferEvict(
                     time=self.sim.now, space_id=victim_key.space_id,
                     page_no=victim_key.page_no, written_back=wrote_back,

@@ -7,6 +7,7 @@ Usage::
     python -m repro run-all --jobs 4 --out results.json
     python -m repro sweep a3 --param scale --values 0.1,0.2,0.4
     python -m repro trace e2 --out trace.jsonl
+    python -m repro bench --out BENCH_kernel.json
     python -m repro quickstart
 
 ``run`` executes one experiment (see ``list`` for ids) and prints the
@@ -17,6 +18,10 @@ deterministic per-experiment seeds and an on-disk result cache;
 ``trace`` runs one experiment with the structured-event tracer
 attached, prints an event summary, and can stream the full trace to a
 JSONL file for offline analysis.
+``bench`` runs the hot-path microbenchmarks (fix-hit, fix-miss, event
+dispatch, end-to-end staggered-Q6), writes the machine-normalized
+``BENCH_kernel.json`` artifact, and — with ``--check`` — fails (exit 3)
+on a >20 % regression against a committed baseline.
 """
 
 from __future__ import annotations
@@ -101,6 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     quick.add_argument("--scale", type=float, default=0.25)
     quick.add_argument("--streams", type=int, default=3)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the hot-path microbenchmarks; optionally gate against "
+             "a committed baseline",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI configuration: fewer repetitions, same "
+                            "workloads (normalized metrics stay comparable)")
+    bench.add_argument("--out", metavar="FILE", default=None,
+                       help="write the JSON report (e.g. BENCH_kernel.json)")
+    bench.add_argument("--check", metavar="BASELINE", default=None,
+                       help="compare against a baseline JSON; exit 3 on "
+                            "regression")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed normalized-metric regression "
+                            "(default 0.20 = 20%%)")
     return parser
 
 
@@ -251,6 +273,47 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return text
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run (and optionally gate) the perf microbenchmarks.
+
+    Unlike the other subcommands this returns an exit code directly:
+    0 on success, 3 when ``--check`` found a regression.
+    """
+    from repro.perf.bench import (
+        compare_reports, load_report, render_report, run_benchmarks,
+        write_report,
+    )
+
+    if not 0 < args.tolerance < 1:
+        raise SystemExit(
+            f"repro bench: error: --tolerance must be in (0, 1), "
+            f"got {args.tolerance}"
+        )
+    report = run_benchmarks(quick=args.quick)
+    print(render_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}")
+    if args.check:
+        try:
+            baseline = load_report(args.check)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"repro bench: error: cannot load baseline {args.check!r}: {exc}"
+            )
+        problems = compare_reports(baseline, report,
+                                   tolerance=args.tolerance)
+        if problems:
+            print(f"\nPERF REGRESSION vs {args.check} "
+                  f"(tolerance {args.tolerance:.0%}):", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 3
+        print(f"\nno regression vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> str:
     from repro.experiments.harness import compare_modes
 
@@ -270,6 +333,8 @@ def _cmd_quickstart(args: argparse.Namespace) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "bench":
+        return _cmd_bench(args)
     commands = {
         "list": lambda: _cmd_list(),
         "run": lambda: _cmd_run(args),

@@ -331,10 +331,14 @@ def run_tasks(
     start = time.perf_counter()
     cache = ResultCache(cache_dir) if use_cache else None
     slots: List[Optional[TaskResult]] = [None] * len(tasks)
+    # Each key digests the settings plus the full source fingerprint —
+    # compute it once per task, not once for the probe and again for the
+    # store.
+    keys = [cache_key(task.experiment, task.sweep_point, task.settings)
+            for task in tasks] if cache else []
     misses: List[Tuple[int, ExperimentTask]] = []
     for index, task in enumerate(tasks):
-        cached = cache.get(cache_key(task.experiment, task.sweep_point,
-                                     task.settings)) if cache else None
+        cached = cache.get(keys[index]) if cache else None
         if cached is not None:
             slots[index] = cached
         else:
@@ -351,8 +355,7 @@ def run_tasks(
             result.cache = "miss" if cache else "off"
             slots[index] = result
             if cache:
-                cache.put(cache_key(task.experiment, task.sweep_point,
-                                    task.settings), result)
+                cache.put(keys[index], result)
 
     base_seed = tasks[0].settings.seed if tasks else 0
     return SuiteResult(

@@ -1,0 +1,21 @@
+"""Performance-regression harness (microbenchmarks + baseline compare)."""
+
+from repro.perf.bench import (
+    BenchReport,
+    calibrate,
+    compare_reports,
+    load_report,
+    render_report,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "BenchReport",
+    "calibrate",
+    "compare_reports",
+    "load_report",
+    "render_report",
+    "run_benchmarks",
+    "write_report",
+]

@@ -69,43 +69,58 @@ class SharedTableScan:
             started_at=db.sim.now,
         )
         interval = manager.config.update_interval_pages
+        scan_id = state.scan_id
         pages_done = 0
+        # Hot-loop locals: one lookup per scan, not one per page.  Keys
+        # are built once per prefetch extent; the release priority stays
+        # a per-page manager call because grouping changes it mid-scan.
+        sim = db.sim
+        pool = db.pool
+        cpu = db.cpu
+        table = self.table
+        on_page = self.on_page
+        try_fix = pool.try_fix
+        page_priority = manager.page_priority
+        rows_per_page = table.schema.rows_per_page
+        record_visits = self.record_visits
+        extent_no = -1
+        extent_start = 0
+        extent_keys: List = []
         try:
             for page_no in scan_order(self.first_page, self.last_page, state.start_page):
-                yield from self._process_page(page_no, state.scan_id, result)
+                if table.extent_of(page_no) != extent_no:
+                    extent_no, extent_start, extent_keys = self._extent_keys(page_no)
+                key = extent_keys[page_no - extent_start]
+                frame = try_fix(key)
+                if frame is None:
+                    frame = yield from pool.fix(key, prefetch=extent_keys)
+                assert frame.key == key
+                try:
+                    data = table.page_data(page_no)
+                    cpu_seconds = on_page(page_no, data)
+                    if cpu_seconds > 0:
+                        yield cpu.acquire()
+                        try:
+                            yield sim.timeout(cpu_seconds)
+                        finally:
+                            cpu.release()
+                finally:
+                    # Never leak a pin, even when page processing raises.
+                    pool.unfix(key, page_priority(scan_id))
+                result.pages_scanned += 1
+                result.rows_seen += rows_per_page
+                result.cpu_seconds += cpu_seconds
+                if record_visits:
+                    result.visited_pages.append(page_no)
                 pages_done += 1
                 if pages_done % interval == 0:
-                    yield from self._report_location(state.scan_id, pages_done, result)
+                    yield from self._report_location(scan_id, pages_done, result)
             if pages_done % interval != 0:
-                yield from self._report_location(state.scan_id, pages_done, result)
+                yield from self._report_location(scan_id, pages_done, result)
         finally:
-            manager.end_scan(state.scan_id)
+            manager.end_scan(scan_id)
         result.finished_at = db.sim.now
         return result
-
-    def _process_page(self, page_no: int, scan_id: int, result: ScanResult) -> Generator:
-        db = self.db
-        key = db.catalog.page_key(self.table.name, page_no)
-        prefetch = self._prefetch_run(page_no)
-        frame = yield from db.pool.fix(key, prefetch=prefetch)
-        assert frame.key == key
-        try:
-            data = self.table.page_data(page_no)
-            cpu_seconds = self.on_page(page_no, data)
-            if cpu_seconds > 0:
-                yield db.cpu.acquire()
-                try:
-                    yield db.sim.timeout(cpu_seconds)
-                finally:
-                    db.cpu.release()
-        finally:
-            # Never leak a pin, even when page processing raises.
-            db.pool.unfix(key, db.sharing.page_priority(scan_id))
-        result.pages_scanned += 1
-        result.rows_seen += self.table.schema.rows_per_page
-        result.cpu_seconds += cpu_seconds
-        if self.record_visits:
-            result.visited_pages.append(page_no)
 
     def _report_location(
         self, scan_id: int, pages_done: int, result: ScanResult
@@ -117,9 +132,13 @@ class SharedTableScan:
             result.throttle_seconds += wait
             yield db.sim.timeout(wait)
 
-    def _prefetch_run(self, page_no: int) -> List:
+    def _extent_keys(self, page_no: int) -> tuple:
+        """``(extent_no, first_page_of_extent, keys)`` for the whole
+        extent containing ``page_no`` — the prefetch unit."""
         extent_no = self.table.extent_of(page_no)
         pages = self.table.extent_pages(extent_no)
         catalog = self.db.catalog
         name = self.table.name
-        return [catalog.page_key(name, page) for page in pages]
+        return extent_no, pages[0], [
+            catalog.page_key(name, page) for page in pages
+        ]

@@ -13,6 +13,7 @@ ordered callbacks used internally by the simulator.
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from typing import Any, Callable, List, Optional, Tuple
 
 
@@ -69,9 +70,17 @@ class Event:
         semantics rather than invoking it re-entrantly).
         """
         if self._triggered:
-            self.sim.schedule(0.0, lambda: callback(self))
+            self.sim.schedule(0.0, partial(callback, self))
         else:
             self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Detach a pending ``callback``; a no-op if it is not registered
+        (or the event already triggered and flushed its callback list)."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering ``value`` to waiters."""
@@ -92,8 +101,35 @@ class Event:
         self._value = value
         self._is_error = is_error
         callbacks, self._callbacks = self._callbacks, []
+        # partial() beats a closure here: C-level allocation, no cell vars,
+        # and this runs once per waiter on every trigger.
+        schedule = self.sim.schedule
         for callback in callbacks:
-            self.sim.schedule(0.0, lambda cb=callback: cb(self))
+            schedule(0.0, partial(callback, self))
+
+
+class Timeout(Event):
+    """An event that is its own expiry callback.
+
+    ``Simulator.timeout`` used to allocate a closure per call
+    (``lambda: ev.succeed(value)``); pushing the event itself onto the
+    queue and making it callable halves the allocations on the single
+    most common scheduling operation.
+    """
+
+    __slots__ = ("_scheduled_value",)
+
+    def __init__(self, sim: "Any", value: Any = None):
+        super().__init__(sim)
+        self._scheduled_value = value
+
+    def __call__(self) -> None:
+        self.succeed(self._scheduled_value)
+
+
+#: A raw queue entry: ``(time, seq, callback)``.  ``seq`` breaks time
+#: ties in insertion order and is never exposed except for re-queueing.
+QueueEntry = Tuple[float, int, Callable[[], None]]
 
 
 class EventQueue:
@@ -128,3 +164,16 @@ class EventQueue:
         """Remove and return ``(time, callback)`` for the next entry."""
         time, _seq, callback = heapq.heappop(self._heap)
         return time, callback
+
+    def pop_entry(self) -> QueueEntry:
+        """Remove and return the raw next entry, sequence number included.
+
+        Pairs with :meth:`requeue`: the event loop pops exactly once per
+        dispatch and, when an ``until`` bound stops the run early, pushes
+        the untouched entry back without disturbing its tie-break order.
+        """
+        return heapq.heappop(self._heap)
+
+    def requeue(self, entry: QueueEntry) -> None:
+        """Push back an entry obtained from :meth:`pop_entry` verbatim."""
+        heapq.heappush(self._heap, entry)

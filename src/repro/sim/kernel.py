@@ -4,10 +4,15 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional
 
-from repro.sim.events import Event, EventQueue, SimulationError
+from repro.sim.events import Event, EventQueue, SimulationError, Timeout
 from repro.sim.process import Process
 from repro.trace.events import SimDispatch
-from repro.trace.tracer import get_tracer
+from repro.trace.tracer import TracerHandle
+
+#: Cached tracer reference for the dispatch loop, revalidated against the
+#: tracer generation counter — one integer compare per dispatch instead of
+#: a ``get_tracer()`` call, while sink swaps mid-run are still picked up.
+_TRACER = TracerHandle()
 
 
 class Simulator:
@@ -52,11 +57,15 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Event:
-        """Return an event that succeeds ``delay`` seconds from now."""
+        """Return an event that succeeds ``delay`` seconds from now.
+
+        The returned :class:`~repro.sim.events.Timeout` is queued as its
+        own callback, so a timeout costs one allocation, not two.
+        """
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        ev = Event(self)
-        self._queue.push(self._now + delay, lambda: ev.succeed(value))
+        ev = Timeout(self, value)
+        self._queue.push(self._now + delay, ev)
         return ev
 
     def spawn(self, generator: Generator, name: str = "") -> Process:
@@ -68,7 +77,9 @@ class Simulator:
 
         The combined event's value is the list of individual values, in the
         order given.  If any constituent fails, the combined event fails
-        with the first failure.
+        with the first failure and detaches from the still-pending
+        constituents, so their later triggers no longer invoke the
+        aggregation callback.
         """
         combined = Event(self)
         remaining = {"count": len(events)}
@@ -81,6 +92,9 @@ class Simulator:
                 return
             if _event.failed:
                 combined.fail(_event.value)
+                for ev in events:
+                    if not ev.triggered:
+                        ev.remove_callback(on_done)
                 return
             remaining["count"] -= 1
             if remaining["count"] == 0:
@@ -100,31 +114,44 @@ class Simulator:
         Processes callbacks in time order until the queue drains, or until
         simulated time would exceed ``until`` (the clock is then advanced
         to exactly ``until``).  Returns the final simulation time.
+
+        The loop body is the hottest code in the package: every simulated
+        page touch, disk completion, and throttle wait dispatches through
+        here.  It therefore pops each heap entry exactly once (re-queueing
+        only when the ``until`` bound is exceeded), keeps the clock in a
+        local, and reads the tracer through a generation-checked handle
+        instead of a registry lookup per dispatch.
         """
         if self._running:
             raise SimulationError("Simulator.run called re-entrantly")
         self._running = True
         try:
-            while len(self._queue):
-                next_time = self._queue.peek_time()
-                assert next_time is not None
-                if until is not None and next_time > until:
+            queue = self._queue
+            heap = queue._heap  # the loop condition must not pay a __len__ call
+            pop_entry = queue.pop_entry
+            tracer_of = _TRACER.active
+            now = self._now
+            while heap:
+                entry = pop_entry()
+                time = entry[0]
+                if until is not None and time > until:
+                    queue.requeue(entry)
                     self._now = until
-                    return self._now
-                time, callback = self._queue.pop()
-                if time < self._now - 1e-12:
+                    return until
+                if time < now - 1e-12:
                     raise SimulationError(
-                        f"event queue time went backwards: {time} < {self._now}"
+                        f"event queue time went backwards: {time} < {now}"
                     )
-                self._now = max(self._now, time)
-                tracer = get_tracer()
-                if tracer.enabled:
-                    tracer.emit(
-                        SimDispatch(time=self._now, queue_len=len(self._queue))
-                    )
-                callback()
-            if until is not None and until > self._now:
-                self._now = until
-            return self._now
+                if time > now:
+                    now = time
+                    self._now = now
+                tracer = tracer_of()
+                if tracer is not None:
+                    tracer.emit(SimDispatch(time=now, queue_len=len(heap)))
+                entry[2]()
+            if until is not None and until > now:
+                now = until
+                self._now = now
+            return now
         finally:
             self._running = False

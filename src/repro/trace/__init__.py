@@ -36,7 +36,14 @@ from repro.trace.events import (
 )
 from repro.trace.sinks import JsonlSink, NullSink, RingBufferSink, TraceSink
 from repro.trace.summary import render_summary, summarize
-from repro.trace.tracer import Tracer, get_tracer, set_tracer, tracing
+from repro.trace.tracer import (
+    Tracer,
+    TracerHandle,
+    get_tracer,
+    set_tracer,
+    tracer_generation,
+    tracing,
+)
 
 __all__ = [
     "BufferEvict",
@@ -59,9 +66,11 @@ __all__ = [
     "TraceEvent",
     "TraceSink",
     "Tracer",
+    "TracerHandle",
     "get_tracer",
     "render_summary",
     "set_tracer",
     "summarize",
+    "tracer_generation",
     "tracing",
 ]

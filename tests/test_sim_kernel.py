@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.events import SimulationError
+from repro.sim.events import SimulationError, Timeout
 from repro.sim.kernel import Simulator
 
 
@@ -41,6 +41,78 @@ class TestClock:
         assert sim.run() == 0.0
 
 
+class TestUntilSemantics:
+    """The single-pop dispatch must not change any ``until`` behavior."""
+
+    def test_event_beyond_until_survives_and_fires_later(self, sim):
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("early"))
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        assert fired == ["early"]
+        sim.run()
+        assert sim.now == 10.0
+        assert fired == ["early", "late"]
+
+    def test_requeued_entry_keeps_same_instant_insertion_order(self, sim):
+        """Ties at the same time fire in insertion order even when the
+        first run stopped short and re-pushed the popped entry."""
+        fired = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(7.0, lambda tag=tag: fired.append(tag))
+        sim.run(until=2.0)
+        assert fired == []
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_until_exactly_at_event_time_fires_the_event(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert fired == [True]
+        assert sim.now == 5.0
+
+    def test_repeated_bounded_runs_drain_in_order(self, sim):
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        for bound in (1.5, 2.5, 3.5, 4.5):
+            sim.run(until=bound)
+            assert sim.now == bound
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_callbacks_scheduled_during_bounded_run_respect_bound(self, sim):
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            sim.schedule(2.0, chain)
+
+        sim.schedule(0.0, chain)
+        sim.run(until=5.0)
+        assert fired == [0.0, 2.0, 4.0]
+        assert sim.now == 5.0
+
+
+class TestTimeout:
+    def test_timeout_event_is_lambda_free(self, sim):
+        ev = sim.timeout(1.0, "payload")
+        assert isinstance(ev, Timeout)
+        # The queue holds the event itself as its own callback.
+        assert sim._queue._heap[0][2] is ev
+
+    def test_timeout_delivers_value(self, sim):
+        def worker(sim):
+            value = yield sim.timeout(2.0, "tick")
+            return value
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert proc.completion.value == "tick"
+        assert sim.now == 2.0
+
+
 class TestAllOf:
     def test_all_of_collects_values(self, sim):
         def worker(sim):
@@ -70,6 +142,25 @@ class TestAllOf:
         proc = sim.spawn(worker(sim))
         sim.run()
         assert proc.completion.value == "failed fast"
+
+    def test_all_of_detaches_from_pending_events_after_failure(self, sim):
+        """After the combined event fails, the still-pending constituents
+        must no longer carry the aggregation callback (regression: the
+        dead callback used to linger and fire on each later trigger)."""
+        bad = sim.event()
+        pending = [sim.event(), sim.event()]
+        combined = sim.all_of([bad] + pending)
+        assert all(len(ev._callbacks) == 1 for ev in pending)
+        bad.fail(ValueError("boom"))
+        sim.run()
+        assert combined.failed
+        assert all(ev._callbacks == [] for ev in pending)
+        # Late triggers of the survivors are now inert.
+        for ev in pending:
+            ev.succeed("late")
+        sim.run()
+        assert combined.failed
+        assert isinstance(combined.value, ValueError)
 
 
 class TestDeterminism:
