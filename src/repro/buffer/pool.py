@@ -76,6 +76,50 @@ class BufferPool:
         self.stats = BufferStats()
         self._frames: Dict[PageKey, Frame] = {}
         self._inflight: Dict[PageKey, Event] = {}
+        # Frames reserved away by external pressure (fault injection);
+        # always 0 in clean runs, so every path below behaves exactly as
+        # if the reservation mechanism did not exist.
+        self._reserved = 0
+
+    # ------------------------------------------------------------------
+    # External pressure (fault injection)
+    # ------------------------------------------------------------------
+
+    #: Frames that can never be reserved away: forward progress needs a
+    #: handful of pinnable frames (mirrors the capacity >= 4 floor).
+    MIN_USABLE_FRAMES = 4
+
+    @property
+    def effective_capacity(self) -> int:
+        """Capacity minus frames reserved by external pressure."""
+        return self.capacity - self._reserved
+
+    @property
+    def reserved_frames(self) -> int:
+        """Frames currently reserved away from the pool."""
+        return self._reserved
+
+    def reserve(self, pages: int) -> int:
+        """Reserve up to ``pages`` frames away from the pool.
+
+        Clamped so at least :data:`MIN_USABLE_FRAMES` remain usable;
+        returns the number actually reserved.
+        """
+        if pages < 0:
+            raise BufferPoolError(f"cannot reserve {pages} pages")
+        granted = max(
+            0, min(pages, self.capacity - self.MIN_USABLE_FRAMES - self._reserved)
+        )
+        self._reserved += granted
+        return granted
+
+    def release_reserved(self, pages: int) -> int:
+        """Return previously reserved frames; returns how many were freed."""
+        if pages < 0:
+            raise BufferPoolError(f"cannot release {pages} reserved pages")
+        freed = min(pages, self._reserved)
+        self._reserved -= freed
+        return freed
 
     # ------------------------------------------------------------------
     # Introspection
@@ -243,8 +287,10 @@ class BufferPool:
                 yield pending
                 return
             run = self._plan_run(key, prefetch)
-            # Reserve room: frames + inflight + new run must fit.
-            needed = len(self._frames) + len(self._inflight) + len(run) - self.capacity
+            # Reserve room: frames + inflight + new run must fit in the
+            # capacity left after external pressure reservations.
+            capacity = self.capacity - self._reserved
+            needed = len(self._frames) + len(self._inflight) + len(run) - capacity
             if needed <= 0:
                 break
             freed = yield from self._evict(needed)
@@ -253,7 +299,7 @@ class BufferPool:
             # Could not make room for the whole prefetch run; fall back to
             # reading just the demanded page.
             run = [key]
-            needed = len(self._frames) + len(self._inflight) + 1 - self.capacity
+            needed = len(self._frames) + len(self._inflight) + 1 - capacity
             if needed <= 0:
                 break
             freed = yield from self._evict(needed)
@@ -263,6 +309,11 @@ class BufferPool:
                 # Every frame is pinned or in flight: wait for any
                 # outstanding read to land, then re-plan.
                 yield next(iter(self._inflight.values()))
+                continue
+            if self._reserved > 0:
+                # Everything usable is pinned but external pressure holds
+                # frames: claw one back rather than wedging the scan.
+                self._reserved -= 1
                 continue
             raise BufferPoolError(
                 f"bufferpool {self.name} overcommitted: all "

@@ -7,6 +7,8 @@ Usage::
     python -m repro run-all --jobs 4 --out results.json
     python -m repro sweep a3 --param scale --values 0.1,0.2,0.4
     python -m repro trace e2 --out trace.jsonl
+    python -m repro chaos e2 --faults leader-abort --seed 7
+    python -m repro chaos --quick
     python -m repro bench --out BENCH_kernel.json
     python -m repro quickstart
 
@@ -18,6 +20,10 @@ deterministic per-experiment seeds and an on-disk result cache;
 ``trace`` runs one experiment with the structured-event tracer
 attached, prints an event summary, and can stream the full trace to a
 JSONL file for offline analysis.
+``chaos`` runs one experiment under a deterministic fault plan (scan
+kills, disk degradation, transient I/O errors, pool pressure) with the
+sharing-invariant checker armed; ``--quick`` runs the three builtin
+plans as a smoke battery.  Exit 4 means an invariant violation.
 ``bench`` runs the hot-path microbenchmarks (fix-hit, fix-miss, event
 dispatch, end-to-end staggered-Q6), writes the machine-normalized
 ``BENCH_kernel.json`` artifact, and — with ``--check`` — fails (exit 3)
@@ -107,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--scale", type=float, default=0.25)
     quick.add_argument("--streams", type=int, default=3)
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run an experiment under fault injection with the sharing "
+             "invariant checker armed",
+    )
+    chaos.add_argument("experiment", nargs="?", default="e2",
+                       help="experiment id (default: e2)")
+    _add_settings_args(chaos)
+    chaos.add_argument("--quick", action="store_true",
+                       help="smoke battery: run the three builtin plans "
+                            "(leader abort, disk degradation, pool pressure)")
+
     bench = subparsers.add_parser(
         "bench",
         help="run the hot-path microbenchmarks; optionally gate against "
@@ -134,6 +152,12 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
     parser.add_argument("--policy", default="priority-lru",
                         help="bufferpool victim policy")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="fault spec or builtin plan name (e.g. "
+                             "'leader-abort' or 'disk-delay:factor=4')")
+    parser.add_argument("--sharing", metavar="KEY=VAL,...", default=None,
+                        help="SharingConfig overrides for the shared mode "
+                             "(e.g. 'distance_threshold_extents=4')")
 
 
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
@@ -153,10 +177,69 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="write the consolidated results.json artifact")
 
 
+def _parse_sharing_overrides(spec: str) -> Tuple[Tuple[str, object], ...]:
+    """Parse ``key=value,...`` into typed SharingConfig overrides."""
+    import dataclasses
+
+    from repro.core.config import SharingConfig
+
+    field_types = {
+        f.name: type(getattr(SharingConfig(), f.name))
+        for f in dataclasses.fields(SharingConfig)
+    }
+    overrides = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, raw = token.partition("=")
+        name = name.strip()
+        if not sep:
+            raise SystemExit(
+                f"repro: error: malformed --sharing token {token!r} "
+                f"(expected key=value)"
+            )
+        if name not in field_types:
+            known = ", ".join(sorted(field_types))
+            raise SystemExit(
+                f"repro: error: unknown SharingConfig field {name!r} "
+                f"(known: {known})"
+            )
+        kind = field_types[name]
+        raw = raw.strip()
+        try:
+            if kind is bool:
+                overrides[name] = raw.lower() in ("1", "true", "yes", "on")
+            elif kind is int:
+                overrides[name] = int(raw)
+            elif kind is float:
+                overrides[name] = float(raw)
+            else:
+                overrides[name] = raw
+        except ValueError:
+            raise SystemExit(
+                f"repro: error: --sharing field {name!r} needs a "
+                f"{kind.__name__}, got {raw!r}"
+            ) from None
+    return tuple(sorted(overrides.items()))
+
+
 def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    sharing_overrides = None
+    if getattr(args, "sharing", None):
+        sharing_overrides = _parse_sharing_overrides(args.sharing)
+    fault_spec = getattr(args, "faults", None)
+    if fault_spec is not None:
+        from repro.faults.plan import FaultSpecError, parse_fault_spec
+
+        try:
+            parse_fault_spec(fault_spec)  # fail fast with a clean error
+        except FaultSpecError as exc:
+            raise SystemExit(f"repro: error: bad --faults spec: {exc}")
     return ExperimentSettings(
         scale=args.scale, n_streams=args.streams, seed=args.seed,
-        policy=args.policy,
+        policy=args.policy, sharing_overrides=sharing_overrides,
+        fault_spec=fault_spec,
     )
 
 
@@ -314,6 +397,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one experiment under one or more fault plans.
+
+    Returns an exit code directly: 0 when every plan completed with the
+    invariant checker silent, 4 when any plan tripped a violation.
+    """
+    from collections import Counter
+
+    from repro.experiments.registry import metrics_of
+    from repro.experiments.runner import metrics_digest
+    from repro.faults.invariants import InvariantViolation
+    from repro.trace import tracing
+    from repro.trace.sinks import TraceSink
+
+    spec = get(args.experiment)
+    settings = _settings_from_args(args)
+    if args.quick or not args.faults:
+        plan_names = ["leader-abort", "disk-degrade", "pool-pressure"]
+    else:
+        plan_names = [args.faults]
+
+    class KindCounter(TraceSink):
+        """Counts (category, kind) pairs without retaining events."""
+
+        def __init__(self) -> None:
+            self.counts: Counter = Counter()
+
+        def write(self, event) -> None:
+            self.counts[(event.category, event.kind)] += 1
+
+    violations = 0
+    for plan in plan_names:
+        print(
+            f"CHAOS {spec.name.upper()} — plan {plan} "
+            f"(scale {args.scale}, {args.streams} streams, seed {args.seed})"
+        )
+        counter = KindCounter()
+        try:
+            with tracing(counter):
+                result = spec.execute(settings.with_(fault_spec=plan))
+        except InvariantViolation as exc:
+            violations += 1
+            print(f"  INVARIANT VIOLATION: {exc}", file=sys.stderr)
+            continue
+        digest = metrics_digest(metrics_of(result))
+        injected = ", ".join(
+            f"{kind}={count}"
+            for (category, kind), count in sorted(counter.counts.items())
+            if category == "fault" and kind != "invariant"
+        ) or "none"
+        checks = counter.counts.get(("fault", "invariant"), 0)
+        print(f"  metrics digest {digest[:12]}")
+        print(f"  faults injected: {injected}")
+        print(f"  invariants OK ({checks} checks)")
+    return 4 if violations else 0
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> str:
     from repro.experiments.harness import compare_modes
 
@@ -335,6 +475,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        try:
+            return _cmd_chaos(args)
+        except UnknownExperimentError as exc:
+            print(f"repro chaos: error: {exc}", file=sys.stderr)
+            return 2
     commands = {
         "list": lambda: _cmd_list(),
         "run": lambda: _cmd_run(args),

@@ -17,7 +17,7 @@ scan progress and returns placement, wait, and priority decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.buffer.page import Priority
 from repro.core.config import SharingConfig
@@ -31,6 +31,7 @@ from repro.storage.catalog import Catalog
 from repro.trace.events import (
     FairnessCapTripped,
     Regrouped,
+    ScanAborted,
     ScanDeregistered,
     ScanRegistered,
     ThrottleEvaluated,
@@ -44,6 +45,7 @@ class SharingStats:
 
     scans_started: int = 0
     scans_finished: int = 0
+    scans_aborted: int = 0
     scans_joined_ongoing: int = 0
     scans_joined_last_finished: int = 0
     regroups: int = 0
@@ -75,6 +77,10 @@ class ScanSharingManager:
         self._last_finished: Dict[str, int] = {}  # table -> final position
         self._last_regroup_time: float = -1.0
         self._next_scan_id = 0
+        # Set by the fault injector: called after every group rebuild so
+        # the invariant checker sees each membership change.  None (the
+        # default) costs one attribute test per regroup.
+        self.invariant_hook: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Scan lifecycle callbacks
@@ -194,10 +200,13 @@ class ScanSharingManager:
         state.finished = True
         # Remember where the scan's *reading* stopped (one page before its
         # wrapped final position): the pages it left in the bufferpool
-        # trail that location, and a future scan may start there.
-        first = state.descriptor.first_page
-        final_read = first + (state.position - first - 1) % state.range_pages
-        self._last_finished[state.descriptor.table_name] = final_read
+        # trail that location, and a future scan may start there.  A scan
+        # that read nothing left nothing behind — recording its (start-1)
+        # position would steer future placements at cold pages.
+        if state.pages_scanned > 0:
+            first = state.descriptor.first_page
+            final_read = first + (state.position - first - 1) % state.range_pages
+            self._last_finished[state.descriptor.table_name] = final_read
         del self._states[scan_id]
         self.stats.scans_finished += 1
         tracer = get_tracer()
@@ -207,6 +216,29 @@ class ScanSharingManager:
                 table=state.descriptor.table_name,
                 pages_scanned=state.pages_scanned,
                 accumulated_delay=state.accumulated_delay,
+            ))
+        self._regroup(force=True)
+
+    def abort_scan(self, scan_id: int) -> None:
+        """Deregister a scan that died without finishing.
+
+        The death path for a killed/aborted scan: its groups are
+        dissolved and re-formed immediately so no group keeps a dead
+        member, no throttle anchor points at a ghost, and a throttled
+        leader re-anchors on the next live trailer (or runs free).  The
+        aborted scan's position is *not* recorded as a last-finished
+        location — its partial footprint is not a placement signal.
+        """
+        state = self._state(scan_id)
+        state.finished = True
+        del self._states[scan_id]
+        self.stats.scans_aborted += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(ScanAborted(
+                time=self.sim.now, scan_id=scan_id,
+                table=state.descriptor.table_name,
+                pages_scanned=state.pages_scanned,
             ))
         self._regroup(force=True)
 
@@ -230,6 +262,10 @@ class ScanSharingManager:
     def scan_state(self, scan_id: int) -> ScanState:
         """State of a registered scan (raises if unknown/finished)."""
         return self._state(scan_id)
+
+    def group_of(self, scan_id: int) -> Optional[ScanGroup]:
+        """The group a registered scan currently belongs to, if any."""
+        return self._group_of(self._state(scan_id))
 
     def last_finished_position(self, table_name: str) -> Optional[int]:
         """Final position of the last scan that finished on a table."""
@@ -303,8 +339,17 @@ class ScanSharingManager:
 
     def _regroup(self, force: bool = False) -> None:
         if not (self.config.enabled and self.config.grouping_enabled):
+            # Clear stale membership flags too: a state stamped while
+            # grouping was on must not keep reporting leader/trailer
+            # roles (page_priority reads the flags directly).
+            for state in self._states.values():
+                state.group_id = None
+                state.is_leader = False
+                state.is_trailer = False
             self._groups = []
             self._group_by_id = {}
+            if self.invariant_hook is not None:
+                self.invariant_hook()
             return
         now = self.sim.now
         if not force and now - self._last_regroup_time < self.config.regroup_interval:
@@ -331,3 +376,5 @@ class ScanSharingManager:
                 n_groups=len(self._groups), forced=force,
                 group_sizes=tuple(group.size for group in self._groups),
             ))
+        if self.invariant_hook is not None:
+            self.invariant_hook()

@@ -46,22 +46,38 @@ def expected_shared_pages(descriptor: ScanDescriptor, candidate: ScanState) -> f
     by the pages the new scan covers before wrapping, discounted by the
     speed-compatibility ratio.
     """
+    # Degenerate candidates first: a zero-length range would make the
+    # position modulus divide by zero, and a scan predicted (or declared)
+    # to read nothing shares nothing.  Likewise a new scan estimated at
+    # zero pages gains nothing from joining anyone.
+    if candidate.range_pages <= 0 or descriptor.range_pages <= 0:
+        return 0.0
+    if candidate.descriptor.estimated_pages == 0 or descriptor.estimated_pages == 0:
+        return 0.0
     position = candidate.position
     if not descriptor.first_page <= position <= descriptor.last_page:
         return 0.0
     if candidate.finished:
         return 0.0
     phase_one_pages = descriptor.last_page - position + 1
-    horizon = min(candidate.remaining_pages, phase_one_pages)
+    remaining = candidate.remaining_pages
+    # When the optimizer predicted a short scan, the candidate stops
+    # after estimated_pages even though its declared range is longer.
+    estimated = candidate.descriptor.estimated_pages
+    if estimated is not None:
+        remaining = min(remaining, max(0, estimated - candidate.pages_scanned))
+    horizon = min(remaining, phase_one_pages)
     slower = min(descriptor.estimated_speed, candidate.speed)
     faster = max(descriptor.estimated_speed, candidate.speed)
-    if faster <= 0:
+    if slower <= 0 or faster <= 0:
         return 0.0
     return horizon * (slower / faster)
 
 
 def align_to_extent(page: int, first_page: int, extent_size: int) -> int:
     """Snap a start page down to an extent boundary, clamped to the range."""
+    if extent_size <= 0:
+        return max(page, first_page)
     aligned = (page // extent_size) * extent_size
     return max(aligned, first_page)
 

@@ -55,6 +55,14 @@ class ArrayStats:
     def busy_time(self) -> float:
         return sum(d.stats.busy_time for d in self._disks)
 
+    @property
+    def io_retries(self) -> int:
+        return sum(d.stats.io_retries for d in self._disks)
+
+    @property
+    def aged_dispatches(self) -> int:
+        return sum(d.stats.aged_dispatches for d in self._disks)
+
     def _merged_trace(self, attr: str) -> List[Tuple[float, int]]:
         merged: List[Tuple[float, int]] = []
         for disk in self._disks:
@@ -154,6 +162,11 @@ class DiskArray:
 
         combined.add_callback(finish)
         return done
+
+    def set_fault_injector(self, injector) -> None:
+        """Wire a fault injector into every member disk."""
+        for disk in self.disks:
+            disk.set_fault_injector(injector)
 
     @property
     def busy(self) -> bool:

@@ -37,6 +37,11 @@ class DiskRequest:
     completion: Event
     submit_time: float
     service_start: float = field(default=0.0)
+    # Dispatch counter value when the request entered the queue; the
+    # elevator's aging bound is measured against it.
+    enqueue_dispatch: int = field(default=0)
+    # Transient-error retries already taken (fault injection only).
+    retries: int = field(default=0)
 
     @property
     def end_page(self) -> int:
@@ -59,20 +64,35 @@ class Disk:
     wins, because the elevator cannot eliminate re-reads.
     """
 
+    #: Elevator aging bound: a queued request is force-served once this
+    #: many dispatches have happened since it arrived.  Far above the
+    #: longest natural LOOK wait (one full sweep over the queue), so it
+    #: only trips under pathological one-sided arrival streams.
+    DEFAULT_AGING_LIMIT = 512
+
     def __init__(self, sim: Simulator, geometry: Optional[DiskGeometry] = None,
-                 scheduler: str = "fifo"):
+                 scheduler: str = "fifo", aging_limit: Optional[int] = None):
         if scheduler not in _SCHEDULERS:
             raise SimulationError(
                 f"unknown disk scheduler {scheduler!r}; known: {_SCHEDULERS}"
             )
+        if aging_limit is not None and aging_limit < 1:
+            raise SimulationError(
+                f"aging_limit must be >= 1, got {aging_limit}"
+            )
         self.sim = sim
         self.geometry = geometry or DiskGeometry()
         self.scheduler = scheduler
+        self.aging_limit = (
+            aging_limit if aging_limit is not None else self.DEFAULT_AGING_LIMIT
+        )
         self.stats = DiskStats()
         self._queue: Deque[DiskRequest] = deque()
         self._active: Optional[DiskRequest] = None
         self._sweep_up = True
         self._head_position = 0
+        self._dispatch_count = 0
+        self._faults = None  # set by FaultInjector.attach
         # Number of requests outstanding (queued + active); used by the
         # metrics layer to derive iowait.
         self.outstanding_timeline = StepTimeline(initial=0)
@@ -114,6 +134,7 @@ class Disk:
             is_write=is_write,
             completion=Event(self.sim),
             submit_time=self.sim.now,
+            enqueue_dispatch=self._dispatch_count,
         )
         self._queue.append(request)
         self._record_outstanding()
@@ -131,11 +152,18 @@ class Disk:
         outstanding = len(self._queue) + (1 if self._active else 0)
         self.outstanding_timeline.record(self.sim.now, outstanding)
 
+    def set_fault_injector(self, injector) -> None:
+        """Wire a fault injector into the service/completion path."""
+        self._faults = injector
+
     def _start_next(self) -> None:
         if not self._queue:
             return
         request = self._pick_next()
         self._active = request
+        self._begin_service(request)
+
+    def _begin_service(self, request: DiskRequest) -> None:
         request.service_start = self.sim.now
         sequential = self.geometry.is_sequential(self._head_position, request.start_page)
         seek_time = (
@@ -146,6 +174,8 @@ class Disk:
         )
         xfer_time = self.geometry.transfer_time(request.n_pages)
         service_time = seek_time + xfer_time
+        if self._faults is not None:
+            service_time = self._faults.disk_service_time(self, service_time)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.emit(DiskServiceStart(
@@ -162,8 +192,19 @@ class Disk:
         )
 
     def _pick_next(self) -> DiskRequest:
+        self._dispatch_count += 1
         if self.scheduler == "fifo" or len(self._queue) == 1:
             return self._queue.popleft()
+        # Aging bound: the LOOK policy below always serves the nearest
+        # request in sweep direction, so a far request can be deferred
+        # indefinitely by a continuous stream of near one-sided arrivals.
+        # Once the oldest queued request has sat through aging_limit
+        # dispatches, serve it regardless of position.
+        oldest = min(self._queue, key=lambda r: r.enqueue_dispatch)
+        if self._dispatch_count - oldest.enqueue_dispatch > self.aging_limit:
+            self.stats.aged_dispatches += 1
+            self._queue.remove(oldest)
+            return oldest
         # LOOK: nearest request in the sweep direction; reverse when the
         # current direction is exhausted.
         head = self._head_position
@@ -182,6 +223,15 @@ class Disk:
     def _complete(
         self, request: DiskRequest, seeked: bool, seek_time: float, xfer_time: float
     ) -> None:
+        if self._faults is not None:
+            backoff = self._faults.maybe_disk_error(self, request)
+            if backoff is not None:
+                # Transient failure: the request stays active and the
+                # whole service (seek + transfer) reruns after backoff.
+                request.retries += 1
+                self.stats.io_retries += 1
+                self.sim.schedule(backoff, lambda: self._begin_service(request))
+                return
         self._head_position = request.end_page
         if request.is_write:
             self.stats.record_write(

@@ -23,6 +23,10 @@ class DiskStats:
     seek_time: float = 0.0
     transfer_time: float = 0.0
     busy_time: float = 0.0
+    # Fault-injected transient failures that were retried.
+    io_retries: int = 0
+    # Elevator picks forced by the aging bound (anti-starvation).
+    aged_dispatches: int = 0
     # Each trace entry is (completion_time, quantity).
     read_trace: List[Tuple[float, int]] = field(default_factory=list)
     seek_trace: List[Tuple[float, int]] = field(default_factory=list)

@@ -13,6 +13,8 @@ from repro.disk.array import DiskArray
 from repro.disk.device import Disk
 from repro.disk.geometry import DiskGeometry
 from repro.engine.costs import CostModel
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.cpu import CpuBreakdown, compute_cpu_breakdown
 from repro.sim.kernel import Simulator
@@ -51,6 +53,10 @@ class SystemConfig:
     #: Record every scan's visited page order (costs memory; used by the
     #: trace analyzer in :mod:`repro.metrics.access_log`).
     record_page_visits: bool = False
+    #: Deterministic fault schedule; None (the default) leaves every
+    #: injection point dormant and the system byte-identical to a build
+    #: without the fault layer.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.n_cpus < 1:
@@ -101,6 +107,7 @@ class Database:
         self.cost = self.config.cost
         self._pool: Optional[BufferPool] = None
         self._sharing: Optional[ScanSharingManager] = None
+        self.faults: Optional[FaultInjector] = None
         self._block_indexes: dict = {}
         self._index_managers: dict = {}
 
@@ -142,6 +149,11 @@ class Database:
         self._sharing = ScanSharingManager(
             self.sim, self.catalog, capacity, self.config.sharing
         )
+        if self.config.fault_plan is not None:
+            self.faults = FaultInjector(self.sim, self.config.fault_plan)
+            self.faults.attach(
+                disk=self.disk, pool=self._pool, manager=self._sharing
+            )
         return self
 
     @property

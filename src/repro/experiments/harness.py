@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import SharingConfig
 from repro.engine.database import Database, SystemConfig
+from repro.faults.plan import FaultPlan
 from repro.engine.executor import WorkloadResult, run_workload
 from repro.engine.query import QuerySpec
 from repro.metrics.cpu import CpuBreakdown
@@ -37,10 +38,35 @@ class ExperimentSettings:
     #: Explicit pool size in pages; overrides pool_fraction (and the
     #: config's minimum-pool floor) when set.
     pool_pages: Optional[int] = None
+    #: SharingConfig field overrides applied to the *shared* mode, as a
+    #: sorted tuple of (field, value) pairs so the settings object stays
+    #: hashable and cache keys see every override.
+    sharing_overrides: Optional[Tuple[Tuple[str, Any], ...]] = None
+    #: Fault spec string (see :mod:`repro.faults.plan`); None = clean run.
+    fault_spec: Optional[str] = None
 
     def with_(self, **changes) -> "ExperimentSettings":
         """A modified copy."""
+        if "sharing_overrides" in changes and changes["sharing_overrides"]:
+            overrides = changes["sharing_overrides"]
+            if isinstance(overrides, dict):
+                overrides = tuple(sorted(overrides.items()))
+            else:
+                overrides = tuple(sorted(tuple(pair) for pair in overrides))
+            changes = {**changes, "sharing_overrides": overrides}
         return replace(self, **changes)
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The parsed fault plan these settings describe, if any."""
+        if self.fault_spec is None:
+            return None
+        return FaultPlan.from_spec(self.fault_spec, seed=self.seed)
+
+    def apply_sharing_overrides(self, sharing: SharingConfig) -> SharingConfig:
+        """``sharing`` with this settings object's overrides applied."""
+        if not self.sharing_overrides:
+            return sharing
+        return replace(sharing, **dict(self.sharing_overrides))
 
 
 @dataclass
@@ -128,6 +154,7 @@ def build_database(
         n_disks=settings.n_disks,
         sharing=sharing,
         seed=settings.seed,
+        fault_plan=settings.fault_plan(),
     )
     return make_tpch_database(config, scale=settings.scale)
 
@@ -141,6 +168,8 @@ def run_mode(
     timeline_buckets: int = 40,
 ) -> ModeResult:
     """Run one workload under one configuration and collect everything."""
+    if sharing.enabled:
+        sharing = settings.apply_sharing_overrides(sharing)
     db = build_database(settings, sharing)
     if streams is None:
         streams = tpch_streams(

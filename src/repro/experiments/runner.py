@@ -98,6 +98,10 @@ def settings_to_dict(settings: ExperimentSettings) -> Dict[str, Any]:
     raw = asdict(settings)
     if raw.get("query_names") is not None:
         raw["query_names"] = list(raw["query_names"])
+    if raw.get("sharing_overrides") is not None:
+        raw["sharing_overrides"] = [
+            list(pair) for pair in raw["sharing_overrides"]
+        ]
     return raw
 
 

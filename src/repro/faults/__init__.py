@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the sharing stack.
+
+The paper's mechanism is evaluated on clean runs; this package makes the
+failure modes a production system must survive — scans dying mid-group,
+disks degrading or throwing transient errors, bufferpool pressure
+spikes — reproducible inside the simulator.  A :class:`FaultPlan` is a
+pure value (parsed from a spec string plus a seed), a
+:class:`FaultInjector` threads it through the disk, bufferpool, scan,
+and manager layers, and an :class:`InvariantChecker` validates the
+sharing invariants after every regroup and fault event.
+
+Everything is seed-derived and scheduled on simulated time, so a fault
+scenario replays byte-identically across processes — the same guarantee
+the experiment runner gives clean runs.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats, ScanKilled
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.plan import (
+    BUILTIN_PLANS,
+    DiskDelayFault,
+    DiskErrorFault,
+    FaultPlan,
+    FaultSpecError,
+    PoolPressureFault,
+    ScanKillFault,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "BUILTIN_PLANS",
+    "DiskDelayFault",
+    "DiskErrorFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpecError",
+    "FaultStats",
+    "InvariantChecker",
+    "InvariantViolation",
+    "PoolPressureFault",
+    "ScanKilled",
+    "ScanKillFault",
+    "parse_fault_spec",
+]

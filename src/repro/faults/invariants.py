@@ -1,0 +1,234 @@
+"""Runtime checker for the sharing stack's structural invariants.
+
+The sharing mechanism rests on a handful of properties that must hold
+whenever the manager is quiescent (i.e. right after a regroup) and that
+no fault — a member dying, a disk degrading, the pool shrinking — may
+break:
+
+* **group membership** — every group member is a registered, unfinished
+  scan; every registered scan belongs to at most one group; the
+  ``group_id`` / ``is_leader`` / ``is_trailer`` flags stamped on states
+  agree with the group structures.
+* **group ordering** — members form a circular arc in scan direction:
+  the forward distances trailer → … → leader sum to the trailer→leader
+  distance and the arc fits inside the table circle.  (Checked only in
+  *strict* mode: between regroups scans drift and the manager repairs
+  ordering lazily via ``_order_violated``.)
+* **throttle-anchor liveness** — the anchor a throttled leader would
+  wait for is a registered, unfinished scan, never a ghost.
+* **priority consistency** — the release priority each scan would get
+  matches its group role (leader HIGH, trailer LOW in multi-member
+  groups when prioritization is on).
+* **accounting identity** — ``logical = hits + misses + inflight_waits``
+  on the bufferpool, fault or no fault.
+
+Violations raise :class:`InvariantViolation` so a chaos run fails loudly
+instead of producing quietly-wrong metrics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.buffer.page import Priority
+from repro.trace.events import InvariantChecked
+from repro.trace.tracer import get_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.buffer.pool import BufferPool
+    from repro.core.manager import ScanSharingManager
+
+
+class InvariantViolation(AssertionError):
+    """A sharing-stack invariant failed to hold."""
+
+
+class InvariantChecker:
+    """Validates manager/pool invariants; raises on the first violation."""
+
+    def __init__(
+        self,
+        manager: "ScanSharingManager",
+        pool: Optional["BufferPool"] = None,
+    ):
+        self.manager = manager
+        self.pool = pool
+        self.checks_run = 0
+
+    def run_checks(self, strict_order: bool = False) -> None:
+        """One full pass over all invariants.
+
+        ``strict_order=True`` additionally validates the circular arc
+        ordering of every group — only valid immediately after a
+        regroup, before scans have drifted.
+        """
+        self._check_groups(strict_order)
+        self._check_anchors()
+        self._check_priorities()
+        self._check_accounting()
+        self.checks_run += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            manager = self.manager
+            tracer.emit(InvariantChecked(
+                time=manager.sim.now,
+                n_scans=len(manager._states),
+                n_groups=len(manager._groups),
+                strict_order=strict_order,
+            ))
+
+    # ------------------------------------------------------------------
+    # Individual invariants
+    # ------------------------------------------------------------------
+
+    def _fail(self, message: str) -> None:
+        raise InvariantViolation(
+            f"t={self.manager.sim.now:.6f}: {message}"
+        )
+
+    def _check_groups(self, strict_order: bool) -> None:
+        manager = self.manager
+        states = manager._states
+        seen_in_group = {}
+        for group in manager._groups:
+            if group.size == 0:
+                self._fail(f"group {group.group_id} is empty")
+            for index, member in enumerate(group.members):
+                registered = states.get(member.scan_id)
+                if registered is not member:
+                    self._fail(
+                        f"group {group.group_id} member scan {member.scan_id} "
+                        f"is not a registered scan (dead member left in group)"
+                    )
+                if member.finished:
+                    self._fail(
+                        f"group {group.group_id} member scan {member.scan_id} "
+                        f"is finished"
+                    )
+                if member.scan_id in seen_in_group:
+                    self._fail(
+                        f"scan {member.scan_id} appears in groups "
+                        f"{seen_in_group[member.scan_id]} and {group.group_id}"
+                    )
+                seen_in_group[member.scan_id] = group.group_id
+                if member.group_id != group.group_id:
+                    self._fail(
+                        f"scan {member.scan_id} carries group_id "
+                        f"{member.group_id} but sits in group {group.group_id}"
+                    )
+                expect_leader = index == group.size - 1
+                expect_trailer = index == 0
+                if member.is_leader != expect_leader:
+                    self._fail(
+                        f"scan {member.scan_id} is_leader={member.is_leader} "
+                        f"but holds position {index} of {group.size} in group "
+                        f"{group.group_id}"
+                    )
+                if member.is_trailer != expect_trailer:
+                    self._fail(
+                        f"scan {member.scan_id} is_trailer={member.is_trailer} "
+                        f"but holds position {index} of {group.size} in group "
+                        f"{group.group_id}"
+                    )
+            if strict_order and group.size > 1:
+                circle = group.table_pages
+                if circle <= 0:
+                    circle = manager.catalog.table(group.table_name).n_pages
+                hops = sum(
+                    group.members[i].forward_distance_to(
+                        group.members[i + 1], circle
+                    )
+                    for i in range(group.size - 1)
+                )
+                span = group.trailer.forward_distance_to(group.leader, circle)
+                if hops != span:
+                    self._fail(
+                        f"group {group.group_id} members are not arc-ordered: "
+                        f"consecutive hops sum to {hops}, trailer→leader "
+                        f"distance is {span}"
+                    )
+                if span >= circle:
+                    self._fail(
+                        f"group {group.group_id} arc spans {span} pages on a "
+                        f"{circle}-page circle"
+                    )
+        group_ids = {group.group_id for group in manager._groups}
+        for state in states.values():
+            if state.group_id is not None and manager._groups:
+                if state.group_id not in group_ids:
+                    self._fail(
+                        f"scan {state.scan_id} carries stale group_id "
+                        f"{state.group_id} (no such group)"
+                    )
+                if state.scan_id not in seen_in_group:
+                    self._fail(
+                        f"scan {state.scan_id} carries group_id "
+                        f"{state.group_id} but no group lists it"
+                    )
+            if state.group_id is None and (state.is_leader or state.is_trailer):
+                self._fail(
+                    f"ungrouped scan {state.scan_id} carries leader/trailer "
+                    f"flags ({state.is_leader}/{state.is_trailer})"
+                )
+
+    def _check_anchors(self) -> None:
+        manager = self.manager
+        for group in manager._groups:
+            if group.size <= 1:
+                continue
+            anchors = [
+                member
+                for member in group.members
+                if member.scan_id != group.leader.scan_id
+                and not member.finished
+                and not member.throttle_exempt
+            ]
+            if not anchors:
+                continue  # leader legitimately runs free
+            anchor = anchors[0]
+            registered = manager._states.get(anchor.scan_id)
+            if registered is not anchor or anchor.finished:
+                self._fail(
+                    f"group {group.group_id} throttle anchor scan "
+                    f"{anchor.scan_id} is dead or finished — the leader "
+                    f"would wait forever"
+                )
+
+    def _check_priorities(self) -> None:
+        # Derive the expected priority from the group *structure* (member
+        # positions), not from the stamped flags page_priority itself
+        # reads — so a stale flag shows up as a mismatch.
+        manager = self.manager
+        config = manager.config
+        adaptive = (
+            config.enabled
+            and config.prioritization_enabled
+            and config.grouping_enabled
+        )
+        for state in manager._states.values():
+            group = manager._group_of(state)
+            expected = Priority.NORMAL
+            if adaptive and group is not None and group.size > 1:
+                if state.scan_id == group.leader.scan_id:
+                    expected = Priority.HIGH
+                elif state.scan_id == group.trailer.scan_id:
+                    expected = Priority.LOW
+            actual = manager.page_priority(state.scan_id)
+            if actual != expected:
+                self._fail(
+                    f"scan {state.scan_id} releases at priority {actual!r} "
+                    f"but its group role implies {expected!r}"
+                )
+
+    def _check_accounting(self) -> None:
+        if self.pool is None:
+            return
+        stats = self.pool.stats
+        classified = stats.hits + stats.misses + stats.inflight_waits
+        if stats.logical_reads != classified:
+            self._fail(
+                f"bufferpool accounting identity broken: logical_reads="
+                f"{stats.logical_reads} but hits+misses+inflight_waits="
+                f"{classified} ({stats.hits}+{stats.misses}+"
+                f"{stats.inflight_waits})"
+            )

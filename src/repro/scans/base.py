@@ -21,6 +21,9 @@ class ScanResult:
     started_at: float = 0.0
     finished_at: float = 0.0
     visited_pages: List[int] = field(default_factory=list)
+    # True when the scan was killed by fault injection and the numbers
+    # above cover only the pages it reached.
+    aborted: bool = False
 
     @property
     def elapsed(self) -> float:

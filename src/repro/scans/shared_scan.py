@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Generator, List, Optional
 
 from repro.core.scan_state import ScanDescriptor
+from repro.faults.injector import ScanKilled
 from repro.scans.base import ScanResult, scan_order
 from repro.scans.table_scan import OnPage
 
@@ -83,11 +84,16 @@ class SharedTableScan:
         page_priority = manager.page_priority
         rows_per_page = table.schema.rows_per_page
         record_visits = self.record_visits
+        faults = getattr(db, "faults", None)
         extent_no = -1
         extent_start = 0
         extent_keys: List = []
         try:
             for page_no in scan_order(self.first_page, self.last_page, state.start_page):
+                if faults is not None:
+                    # Checked before the page is pinned, so a kill never
+                    # leaks a fixed frame.
+                    faults.maybe_kill_scan(manager, scan_id, pages_done)
                 if table.extent_of(page_no) != extent_no:
                     extent_no, extent_start, extent_keys = self._extent_keys(page_no)
                 key = extent_keys[page_no - extent_start]
@@ -117,8 +123,16 @@ class SharedTableScan:
                     yield from self._report_location(scan_id, pages_done, result)
             if pages_done % interval != 0:
                 yield from self._report_location(scan_id, pages_done, result)
+        except ScanKilled:
+            # The injector struck: record the partial result and die
+            # without end_scan — abort_scan is the manager's cleanup
+            # path for members that vanish mid-group.
+            result.aborted = True
         finally:
-            manager.end_scan(scan_id)
+            if result.aborted:
+                manager.abort_scan(scan_id)
+            else:
+                manager.end_scan(scan_id)
         result.finished_at = db.sim.now
         return result
 

@@ -226,6 +226,83 @@ class FairnessCapTripped(TraceEvent):
     kind = "fairness_cap"
 
 
+@dataclass
+class ScanAborted(TraceEvent):
+    """A scan died without finishing and was torn out of its group."""
+
+    scan_id: int = 0
+    table: str = ""
+    pages_scanned: int = 0
+
+    category = "manager"
+    kind = "abort"
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FaultScanKilled(TraceEvent):
+    """The injector killed a scan mid-flight."""
+
+    scan_id: int = 0
+    target: str = ""
+    pages_scanned: int = 0
+
+    category = "fault"
+    kind = "scan_kill"
+
+
+@dataclass
+class FaultDiskDelay(TraceEvent):
+    """A disk service time was stretched by an active delay window."""
+
+    start_page: int = 0
+    factor: float = 1.0
+
+    category = "fault"
+    kind = "disk_delay"
+
+
+@dataclass
+class FaultDiskError(TraceEvent):
+    """A disk request failed transiently and will be retried."""
+
+    start_page: int = 0
+    n_pages: int = 0
+    retries: int = 0
+    backoff: float = 0.0
+
+    category = "fault"
+    kind = "disk_error"
+
+
+@dataclass
+class FaultPoolPressure(TraceEvent):
+    """A pressure window reserved (or released) bufferpool frames."""
+
+    reserved: int = 0
+    released: int = 0
+    effective_capacity: int = 0
+
+    category = "fault"
+    kind = "pool_pressure"
+
+
+@dataclass
+class InvariantChecked(TraceEvent):
+    """One full pass of the sharing-invariant checker."""
+
+    n_scans: int = 0
+    n_groups: int = 0
+    strict_order: bool = False
+
+    category = "fault"
+    kind = "invariant"
+
+
 # ----------------------------------------------------------------------
 # Executor
 # ----------------------------------------------------------------------

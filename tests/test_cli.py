@@ -183,3 +183,52 @@ class TestSweep:
         with pytest.raises(SystemExit, match="at least one grid point"):
             main(["sweep", "e1", "--param", "scale", "--values", ",",
                   "--no-cache"])
+
+
+class TestChaosCommand:
+    def test_chaos_parses_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert args.experiment == "e2"
+        assert not args.quick
+
+    def test_chaos_quick_battery_passes(self, capsys):
+        assert main(["chaos", "e2", "--quick",
+                     "--scale", "0.05", "--streams", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants OK" in out
+        assert "faults injected" in out
+
+    def test_chaos_explicit_fault_spec(self, capsys):
+        assert main(["chaos", "e1", "--faults", "scan-kill:target=any,at=0.5",
+                     "--scale", "0.05", "--streams", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scan_kill" in out
+        assert "metrics digest" in out
+
+    def test_chaos_bad_spec_exits_early(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "e1", "--faults", "warp-core-breach"])
+
+    def test_chaos_unknown_experiment(self):
+        assert main(["chaos", "e99", "--faults", "leader-abort"]) == 2
+
+    def test_sharing_overrides_parse(self):
+        args = build_parser().parse_args(
+            ["run", "e1", "--sharing", "update_interval_pages=8,regroup_interval=0.1"]
+        )
+        assert args.sharing == "update_interval_pages=8,regroup_interval=0.1"
+
+    def test_sharing_overrides_bad_key_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "e1", "--scale", "0.05", "--streams", "1",
+                  "--sharing", "warp_factor=9"])
+
+    def test_sharing_overrides_bad_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "e1", "--scale", "0.05", "--streams", "1",
+                  "--sharing", "update_interval_pages=soon"])
+
+    def test_run_with_sharing_override_works(self):
+        assert main(["run", "e1", "--scale", "0.05", "--streams", "1",
+                     "--sharing", "update_interval_pages=8"]) == 0

@@ -131,3 +131,113 @@ class TestChooseStart:
         decision = choose_start(desc(first=0, last=499), candidates,
                                 SharingConfig(), EXTENT)
         assert not decision.joined
+
+
+class TestDegenerateInputs:
+    """Guards for inputs the optimizer can legitimately produce: zero
+    speed estimates, zero-page predictions, and degenerate extents."""
+
+    def test_zero_speed_candidate_scores_zero(self):
+        # The descriptor estimate is validated positive, but the runtime
+        # smoothed speed can decay to zero on a stalled scan.
+        stalled = ongoing(0, position=600)
+        stalled.speed = 0.0
+        assert expected_shared_pages(desc(), stalled) == 0.0
+
+    def test_zero_speed_estimate_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            desc(speed=0.0)
+
+    def test_estimated_zero_pages_scores_zero(self):
+        new = ScanDescriptor("t", 0, 999, estimated_speed=100.0, estimated_pages=0)
+        candidate = ongoing(0, position=600)
+        assert expected_shared_pages(new, candidate) == 0.0
+
+    def test_candidate_estimated_zero_pages_scores_zero(self):
+        candidate = ongoing(0, position=600)
+        object.__setattr__(candidate.descriptor, "estimated_pages", 0)
+        assert expected_shared_pages(desc(), candidate) == 0.0
+
+    def test_estimated_pages_caps_sharing_horizon(self):
+        # The candidate will stop after 100 more pages even though its
+        # declared range leaves 400.
+        candidate = ongoing(0, position=600, scanned=50)
+        object.__setattr__(candidate.descriptor, "estimated_pages", 150)
+        assert expected_shared_pages(desc(), candidate) == pytest.approx(100.0)
+
+    def test_exhausted_estimate_scores_zero(self):
+        # Already past its prediction: nothing left to share.
+        candidate = ongoing(0, position=600, scanned=200)
+        object.__setattr__(candidate.descriptor, "estimated_pages", 100)
+        assert expected_shared_pages(desc(), candidate) == 0.0
+
+    def test_align_to_zero_extent_is_identity_clamped(self):
+        from repro.core.placement import align_to_extent
+
+        assert align_to_extent(37, 0, 0) == 37
+        assert align_to_extent(37, 40, 0) == 40
+
+    def test_zero_speed_candidates_never_crash_choose_start(self):
+        candidates = []
+        for i in range(3):
+            stalled = ongoing(i, position=600)
+            stalled.speed = 0.0
+            candidates.append(stalled)
+        decision = choose_start(desc(), candidates, SharingConfig(), EXTENT)
+        assert decision.start_page == 0
+        assert not decision.joined
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - optional dependency
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestPlacementProperties:
+        @settings(max_examples=200, deadline=None)
+        @given(
+            first=st.integers(min_value=0, max_value=500),
+            length=st.integers(min_value=1, max_value=500),
+            position=st.integers(min_value=0, max_value=999),
+            scanned=st.integers(min_value=0, max_value=2000),
+            new_speed=st.floats(min_value=1e-3, max_value=1e6),
+            cand_speed=st.floats(min_value=0.0, max_value=1e6),
+            estimated=st.one_of(st.none(), st.integers(min_value=0, max_value=2000)),
+        )
+        def test_estimate_is_finite_and_bounded(
+            self, first, length, position, scanned, new_speed, cand_speed, estimated
+        ):
+            new = ScanDescriptor(
+                "t", first, first + length - 1,
+                estimated_speed=new_speed, estimated_pages=estimated,
+            )
+            candidate = ongoing(0, position=position % 1000, scanned=scanned)
+            candidate.speed = cand_speed
+            score = expected_shared_pages(new, candidate)
+            assert 0.0 <= score <= candidate.range_pages
+
+        @settings(max_examples=100, deadline=None)
+        @given(
+            position=st.integers(min_value=0, max_value=999),
+            speed=st.floats(min_value=0.0, max_value=1e6),
+            extent=st.integers(min_value=0, max_value=64),  # 0 = degenerate
+            last_finished=st.one_of(st.none(), st.integers(min_value=0, max_value=999)),
+        )
+        def test_choose_start_lands_inside_range(
+            self, position, speed, extent, last_finished
+        ):
+            candidate = ongoing(0, position=position)
+            candidate.speed = speed
+            candidates = [candidate]
+            decision = choose_start(
+                desc(), candidates, SharingConfig(), extent,
+                last_finished_position=last_finished,
+                leftover_pages=16,
+            )
+            assert 0 <= decision.start_page <= 999

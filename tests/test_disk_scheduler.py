@@ -80,3 +80,66 @@ class TestElevator:
         sim.run()
         assert sorted(completions) == [10, 20, 450, 500, 800, 900]
         assert disk.stats.reads == 6
+
+
+class TestElevatorAging:
+    """The LOOK policy's starvation bound: a far request is force-served
+    once it has waited through ``aging_limit`` dispatches."""
+
+    def submit_starvation_load(self, sim, disk, completions):
+        # One far request drowned by a batch of near ones: the nearest-
+        # in-direction policy would serve every near request first.
+        def submitter(sim):
+            disk.read(10, 1).add_callback(
+                lambda e: completions.append(e.value.start_page)
+            )
+            far = disk.read(900, 1)
+            far.add_callback(lambda e: completions.append(e.value.start_page))
+            for start in range(11, 41):
+                ev = disk.read(start, 1)
+                ev.add_callback(lambda e: completions.append(e.value.start_page))
+            yield sim.timeout(0)
+
+        sim.spawn(submitter(sim))
+
+    def test_aging_bounds_starvation(self, sim, geo):
+        disk = Disk(sim, geo, scheduler="elevator", aging_limit=8)
+        completions = []
+        self.submit_starvation_load(sim, disk, completions)
+        sim.run()
+        assert len(completions) == 32
+        # Without aging the far request finishes last; the bound forces
+        # it through within aging_limit dispatches of its enqueue.
+        assert completions.index(900) <= 10
+        assert disk.stats.aged_dispatches >= 1
+
+    def test_default_limit_leaves_small_loads_untouched(self, sim, geo):
+        disk = Disk(sim, geo, scheduler="elevator")
+        assert disk.aging_limit == Disk.DEFAULT_AGING_LIMIT
+        completions = []
+        self.submit_starvation_load(sim, disk, completions)
+        sim.run()
+        # 32 requests never age past 512 dispatches: pure LOOK order,
+        # far request last.
+        assert completions[-1] == 900
+        assert disk.stats.aged_dispatches == 0
+
+    def test_fifo_never_ages(self, sim, geo):
+        disk = Disk(sim, geo, scheduler="fifo", aging_limit=1)
+        completions = []
+        self.submit_starvation_load(sim, disk, completions)
+        sim.run()
+        # FIFO serves in arrival order; the aging path is elevator-only.
+        assert completions[1] == 900
+        assert disk.stats.aged_dispatches == 0
+
+    def test_bad_aging_limit_rejected(self, sim, geo):
+        with pytest.raises(SimulationError):
+            Disk(sim, geo, scheduler="elevator", aging_limit=0)
+
+    def test_aged_request_completes_exactly_once(self, sim, geo):
+        disk = Disk(sim, geo, scheduler="elevator", aging_limit=4)
+        completions = []
+        self.submit_starvation_load(sim, disk, completions)
+        sim.run()
+        assert sorted(completions) == sorted([10, 900] + list(range(11, 41)))

@@ -237,3 +237,46 @@ class TestRunTasks:
                           cache_dir=str(tmp_path))
         assert [task.cache for task in suite.tasks] == ["hit", "miss"]
         assert suite.cache_hits == 1
+
+
+class TestCacheKeyCoversNewSettings:
+    """S4 regression: a cache key that ignores sharing overrides or the
+    fault plan would serve a clean run's numbers for a chaos run."""
+
+    def test_sharing_overrides_change_key(self):
+        plain = cache_key("e1", "", TINY)
+        tuned = cache_key(
+            "e1", "", TINY.with_(sharing_overrides={"update_interval_pages": 8})
+        )
+        assert plain != tuned
+
+    def test_override_value_changes_key(self):
+        a = cache_key("e1", "", TINY.with_(sharing_overrides={"regroup_interval": 0.1}))
+        b = cache_key("e1", "", TINY.with_(sharing_overrides={"regroup_interval": 0.2}))
+        assert a != b
+
+    def test_override_order_does_not_change_key(self):
+        a = TINY.with_(sharing_overrides={"regroup_interval": 0.1,
+                                          "update_interval_pages": 8})
+        b = TINY.with_(sharing_overrides=[("update_interval_pages", 8),
+                                          ("regroup_interval", 0.1)])
+        assert cache_key("e1", "", a) == cache_key("e1", "", b)
+
+    def test_fault_spec_changes_key(self):
+        clean = cache_key("e1", "", TINY)
+        chaotic = cache_key("e1", "", TINY.with_(fault_spec="leader-abort"))
+        assert clean != chaotic
+        other = cache_key("e1", "", TINY.with_(fault_spec="disk-degrade"))
+        assert chaotic != other
+
+    def test_settings_dict_is_json_safe(self):
+        from repro.experiments.runner import settings_to_dict
+
+        settings = TINY.with_(
+            sharing_overrides={"update_interval_pages": 8},
+            fault_spec="leader-abort",
+        )
+        raw = settings_to_dict(settings)
+        assert json.loads(canonical_json(raw)) == raw
+        assert raw["fault_spec"] == "leader-abort"
+        assert raw["sharing_overrides"] == [["update_interval_pages", 8]]
