@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-quick bench-check bench-guards
+.PHONY: test test-fast bench bench-quick bench-check bench-guards serve-quick serve-soak
 
 test:            ## full tier-1 suite
 	$(PYTHON) -m pytest -x -q
@@ -23,3 +23,10 @@ bench-check:     ## quick run gated against the committed baseline (CI gate)
 
 bench-guards:    ## pytest-level perf guards (fix-hit speedup, dispatch sanity)
 	$(PYTHON) -m pytest -x -q benchmarks/perf
+
+serve-quick:     ## service-layer smoke: steady scenario, bounds asserted
+	$(PYTHON) -m repro serve-sim steady --quick --no-cache --assert-bounded
+
+serve-soak:      ## long mixed soak under pool-pressure chaos, bounds asserted
+	$(PYTHON) -m repro serve-sim soak --quick --no-cache --assert-bounded \
+		--faults "pool-pressure:fraction=0.6,from=1.0,until=3.0"

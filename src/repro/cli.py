@@ -9,6 +9,8 @@ Usage::
     python -m repro trace e2 --out trace.jsonl
     python -m repro chaos e2 --faults leader-abort --seed 7
     python -m repro chaos --quick
+    python -m repro serve-sim steady --quick
+    python -m repro serve-sim soak --faults disk-degrade --assert-bounded
     python -m repro bench --out BENCH_kernel.json
     python -m repro quickstart
 
@@ -24,6 +26,12 @@ JSONL file for offline analysis.
 kills, disk degradation, transient I/O errors, pool pressure) with the
 sharing-invariant checker armed; ``--quick`` runs the three builtin
 plans as a smoke battery.  Exit 4 means an invariant violation.
+``serve-sim`` runs a named service scenario — open/closed arrival
+streams pushed through weighted-fair admission queues under the AIMD
+MPL controller — through the same cached, deterministic runner as
+``run-all``; ``--assert-bounded`` (exit 5 on failure) checks the run
+drained and stayed within its concurrency/queue bounds, and
+``--faults`` layers a chaos plan on top.
 ``bench`` runs the hot-path microbenchmarks (fix-hit, fix-miss, event
 dispatch, end-to-end staggered-Q6), writes the machine-normalized
 ``BENCH_kernel.json`` artifact, and — with ``--check`` — fails (exit 3)
@@ -124,6 +132,29 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--quick", action="store_true",
                        help="smoke battery: run the three builtin plans "
                             "(leader abort, disk degradation, pool pressure)")
+
+    serve = subparsers.add_parser(
+        "serve-sim",
+        help="run admission-controlled service scenarios (open/closed "
+             "arrival streams with workload classes and backpressure)",
+    )
+    serve.add_argument("scenario", nargs="?", default="steady",
+                       help="scenario name or comma-separated list "
+                            "(default: steady; see --list)")
+    serve.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list scenarios and exit")
+    _add_settings_args(serve)
+    _add_runner_args(serve)
+    serve.add_argument("--quick", action="store_true",
+                       help="CI smoke configuration: scale 0.1 (scenario "
+                            "horizons shrink proportionally)")
+    serve.add_argument("--horizon", type=float, default=None,
+                       help="arrival-window override in simulated seconds "
+                            "(default: per-scenario, scale-derived)")
+    serve.add_argument("--assert-bounded", action="store_true",
+                       help="exit 5 unless every run drained, stayed within "
+                            "its MPL bound, and kept patience-bounded "
+                            "queues under their ceilings")
 
     bench = subparsers.add_parser(
         "bench",
@@ -454,6 +485,83 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 4 if violations else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run one or more service scenarios through the parallel runner.
+
+    Returns an exit code directly: 0 on success, 2 on an unknown
+    scenario, 4 on an invariant violation (chaos runs), 5 when
+    ``--assert-bounded`` found unbounded behaviour.
+    """
+    from repro.experiments.runner import ExperimentTask, run_tasks
+    from repro.faults.invariants import InvariantViolation
+    from repro.metrics.export import write_suite_json
+    from repro.service.metrics import bounded_problems
+    from repro.service.scenarios import SCENARIOS
+
+    if args.list_scenarios:
+        print(format_table(
+            ["scenario", "description"], sorted(SCENARIOS.items())
+        ))
+        return 0
+    names = [n.strip() for n in args.scenario.split(",") if n.strip()]
+    if not names:
+        print("repro serve-sim: error: no scenario named", file=sys.stderr)
+        return 2
+    for name in names:
+        if name not in SCENARIOS:
+            print(
+                f"repro serve-sim: error: unknown scenario {name!r} "
+                f"(known: {', '.join(sorted(SCENARIOS))})",
+                file=sys.stderr,
+            )
+            return 2
+    settings = _settings_from_args(args)
+    if args.quick:
+        settings = settings.with_(scale=0.1)
+    if args.horizon is not None:
+        if args.horizon <= 0:
+            print(
+                f"repro serve-sim: error: --horizon must be positive, "
+                f"got {args.horizon}",
+                file=sys.stderr,
+            )
+            return 2
+        settings = settings.with_(service_horizon=args.horizon)
+    tasks = [
+        ExperimentTask(experiment=f"sv-{name}", settings=settings)
+        for name in names
+    ]
+    try:
+        suite = run_tasks(
+            tasks, jobs=args.jobs,
+            use_cache=not args.no_cache, cache_dir=args.cache_dir,
+        )
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
+        return 4
+    print(_suite_report(
+        suite,
+        f"SERVE-SIM — {', '.join(names)} "
+        f"(scale {settings.scale}, seed {settings.seed})",
+    ))
+    for task in suite.tasks:
+        print(f"\n--- {task.label} ---\n{task.render}")
+    if args.out:
+        write_suite_json(suite, args.out)
+        print(f"results written to {args.out}")
+    if args.assert_bounded:
+        problems = []
+        for task in suite.tasks:
+            problems.extend(bounded_problems(task.label, task.metrics))
+        if problems:
+            print("\nUNBOUNDED SERVICE BEHAVIOUR:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 5
+        print("\nboundedness assertions passed")
+    return 0
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> str:
     from repro.experiments.harness import compare_modes
 
@@ -481,6 +589,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         except UnknownExperimentError as exc:
             print(f"repro chaos: error: {exc}", file=sys.stderr)
             return 2
+    if args.command == "serve-sim":
+        return _cmd_serve(args)
     commands = {
         "list": lambda: _cmd_list(),
         "run": lambda: _cmd_run(args),

@@ -44,6 +44,10 @@ class ExperimentSettings:
     sharing_overrides: Optional[Tuple[Tuple[str, Any], ...]] = None
     #: Fault spec string (see :mod:`repro.faults.plan`); None = clean run.
     fault_spec: Optional[str] = None
+    #: Arrival-window override for ``sv-*`` service scenarios, in
+    #: simulated seconds; None = the scenario's own scale-derived default.
+    #: Ignored by every non-service experiment.
+    service_horizon: Optional[float] = None
 
     def with_(self, **changes) -> "ExperimentSettings":
         """A modified copy."""

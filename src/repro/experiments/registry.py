@@ -43,6 +43,8 @@ from repro.experiments.experiments import (
 )
 from repro.experiments.harness import Comparison, ExperimentSettings
 from repro.metrics.report import format_table
+from repro.service.metrics import ServiceComparison, ServiceResult
+from repro.service.scenarios import sv_burst, sv_overload, sv_soak, sv_steady
 
 
 class UnknownExperimentError(KeyError):
@@ -119,6 +121,11 @@ register("a6", "ablation: fairness-cap sweep", ablation_fairness_cap)
 register("a7", "ablation: disk scheduler vs coordination",
          ablation_disk_scheduler)
 register("a9", "ablation: spindle count vs coordination", ablation_disk_array)
+register("sv-steady", "service: steady mixed open+closed load", sv_steady)
+register("sv-overload",
+         "service: overload backpressure, controller on vs off", sv_overload)
+register("sv-burst", "service: bursty MMPP arrivals", sv_burst)
+register("sv-soak", "service: long mixed soak (chaos-ready)", sv_soak)
 
 
 # ----------------------------------------------------------------------
@@ -202,6 +209,8 @@ def metrics_of(result: Any) -> Dict[str, Any]:
         }
     if isinstance(result, Comparison):
         return comparison_metrics(result)
+    if isinstance(result, (ServiceResult, ServiceComparison)):
+        return result.metrics()
     if isinstance(result, dict):  # a4 / a9: sweep key -> Comparison
         return {str(key): metrics_of(value)
                 for key, value in sorted(result.items())}

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import math
+from typing import List, Mapping, Sequence
 
 
 def percent_gain(base: float, improved: float) -> float:
@@ -14,6 +15,72 @@ def percent_gain(base: float, improved: float) -> float:
     if base == 0:
         return 0.0
     return 100.0 * (base - improved) / base
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linearly interpolated percentile of ``values`` (``0 <= q <= 100``).
+
+    Nearest-rank percentiles collapse on small samples — with three
+    latencies, p95 == p99 == max, and the value jumps discontinuously
+    as samples trickle in.  Interpolating between the two bracketing
+    order statistics (numpy's default ``linear`` method) keeps service
+    tables smooth and meaningful at the per-class sample sizes short
+    sim runs produce.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+#: Column order for :func:`format_service_table`; keys into each class row.
+SERVICE_COLUMNS = (
+    ("class", "class"),
+    ("arrived", "n_arrived"),
+    ("done", "n_completed"),
+    ("abandoned", "n_abandoned"),
+    ("wait_p50", "wait_p50"),
+    ("wait_p99", "wait_p99"),
+    ("lat_p50", "latency_p50"),
+    ("lat_p95", "latency_p95"),
+    ("lat_p99", "latency_p99"),
+    ("qps", "throughput"),
+    ("slo%", "slo_attainment"),
+)
+
+
+def format_service_table(class_rows: Sequence[Mapping[str, object]]) -> str:
+    """Render per-class service metrics as an aligned table.
+
+    Each row is a mapping with the keys named in :data:`SERVICE_COLUMNS`
+    (``ClassMetrics.as_dict()`` produces exactly this shape); missing or
+    ``None`` values render as ``-`` so classes without an SLO or with no
+    completions still line up.
+    """
+    headers = [header for header, _ in SERVICE_COLUMNS]
+    rows = []
+    for row in class_rows:
+        cells: List[object] = []
+        for header, key in SERVICE_COLUMNS:
+            value = row.get(key)
+            if value is None:
+                cells.append("-")
+            elif key == "slo_attainment" and isinstance(value, float):
+                cells.append(f"{100.0 * value:.1f}")
+            else:
+                cells.append(value)
+        rows.append(cells)
+    return format_table(headers, rows)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

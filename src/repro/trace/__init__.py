@@ -30,12 +30,17 @@ from repro.trace.events import (
     Regrouped,
     ScanDeregistered,
     ScanRegistered,
+    ServiceAbandoned,
+    ServiceAdmitted,
+    ServiceArrival,
+    ServiceCompleted,
+    ServiceMplChanged,
     SimDispatch,
     ThrottleEvaluated,
     TraceEvent,
 )
 from repro.trace.sinks import JsonlSink, NullSink, RingBufferSink, TraceSink
-from repro.trace.summary import render_summary, summarize
+from repro.trace.summary import attribute_by_scan, render_summary, summarize
 from repro.trace.tracer import (
     Tracer,
     TracerHandle,
@@ -61,12 +66,18 @@ __all__ = [
     "RingBufferSink",
     "ScanDeregistered",
     "ScanRegistered",
+    "ServiceAbandoned",
+    "ServiceAdmitted",
+    "ServiceArrival",
+    "ServiceCompleted",
+    "ServiceMplChanged",
     "SimDispatch",
     "ThrottleEvaluated",
     "TraceEvent",
     "TraceSink",
     "Tracer",
     "TracerHandle",
+    "attribute_by_scan",
     "get_tracer",
     "render_summary",
     "set_tracer",

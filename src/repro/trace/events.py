@@ -304,6 +304,76 @@ class InvariantChecked(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Query service (admission control)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ServiceArrival(TraceEvent):
+    """A request arrived at a service class and entered its queue."""
+
+    request_id: int = 0
+    service_class: str = ""
+    query: str = ""
+    queue_len: int = 0
+
+    category = "service"
+    kind = "arrival"
+
+
+@dataclass
+class ServiceAdmitted(TraceEvent):
+    """A queued request was admitted and began executing."""
+
+    request_id: int = 0
+    service_class: str = ""
+    waited: float = 0.0
+    running: int = 0
+
+    category = "service"
+    kind = "admit"
+
+
+@dataclass
+class ServiceCompleted(TraceEvent):
+    """An admitted request finished; ``latency`` spans arrival to finish."""
+
+    request_id: int = 0
+    service_class: str = ""
+    latency: float = 0.0
+    waited: float = 0.0
+
+    category = "service"
+    kind = "complete"
+
+
+@dataclass
+class ServiceAbandoned(TraceEvent):
+    """A queued request ran out of patience and left without service."""
+
+    request_id: int = 0
+    service_class: str = ""
+    waited: float = 0.0
+
+    category = "service"
+    kind = "abandon"
+
+
+@dataclass
+class ServiceMplChanged(TraceEvent):
+    """The admission controller moved the MPL bound."""
+
+    old_mpl: int = 0
+    new_mpl: int = 0
+    miss_rate: float = 0.0
+    pool_pressure: float = 0.0
+    mean_speed: float = 0.0
+
+    category = "service"
+    kind = "mpl"
+
+
+# ----------------------------------------------------------------------
 # Executor
 # ----------------------------------------------------------------------
 

@@ -232,3 +232,66 @@ class TestChaosCommand:
     def test_run_with_sharing_override_works(self):
         assert main(["run", "e1", "--scale", "0.05", "--streams", "1",
                      "--sharing", "update_interval_pages=8"]) == 0
+
+
+class TestServeSimCommand:
+    def test_parses_defaults(self):
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.command == "serve-sim"
+        assert args.scenario == "steady"
+        assert not args.quick
+        assert not args.assert_bounded
+        assert args.horizon is None
+
+    def test_parses_options(self):
+        args = build_parser().parse_args(
+            ["serve-sim", "overload", "--quick", "--assert-bounded",
+             "--horizon", "2.5", "--jobs", "2", "--no-cache"]
+        )
+        assert args.scenario == "overload"
+        assert args.quick and args.assert_bounded
+        assert args.horizon == 2.5
+        assert args.jobs == 2
+
+    def test_list_prints_scenarios(self, capsys):
+        assert main(["serve-sim", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "overload", "burst", "soak"):
+            assert name in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["serve-sim", "laundromat"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_horizon_exits_2(self, capsys):
+        assert main(["serve-sim", "steady", "--horizon", "0"]) == 2
+        assert "--horizon" in capsys.readouterr().err
+
+    def test_steady_quick_runs_and_passes_bounds(self, capsys):
+        assert main(["serve-sim", "steady", "--quick", "--no-cache",
+                     "--assert-bounded"]) == 0
+        out = capsys.readouterr().out
+        assert "sv-steady" in out
+        assert "scenario steady" in out
+        assert "boundedness assertions passed" in out
+
+    def test_bounds_failure_exits_5(self, capsys, monkeypatch):
+        import repro.service.metrics as service_metrics
+
+        monkeypatch.setattr(
+            service_metrics, "bounded_problems",
+            lambda label, metrics: [f"{label}: synthetic violation"],
+        )
+        assert main(["serve-sim", "steady", "--quick", "--no-cache",
+                     "--assert-bounded"]) == 5
+        err = capsys.readouterr().err
+        assert "UNBOUNDED SERVICE BEHAVIOUR" in err
+        assert "synthetic violation" in err
+
+    def test_comma_separated_scenarios(self, capsys, tmp_path):
+        out_file = tmp_path / "serve.json"
+        assert main(["serve-sim", "steady,burst", "--quick", "--no-cache",
+                     "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        labels = {entry["label"] for entry in payload["experiments"]}
+        assert labels == {"sv-steady", "sv-burst"}

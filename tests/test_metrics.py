@@ -4,7 +4,13 @@ import pytest
 
 from repro.metrics.collector import MetricsCollector, QueryRecord
 from repro.metrics.cpu import compute_cpu_breakdown
-from repro.metrics.report import format_series, format_table, percent_gain
+from repro.metrics.report import (
+    format_series,
+    format_service_table,
+    format_table,
+    percent_gain,
+    percentile,
+)
 from repro.sim.timeline import StepTimeline
 
 
@@ -142,3 +148,86 @@ class TestReport:
         text = format_series("reads", [1.0, 2.0, 4.0])
         assert "reads" in text
         assert text.count("\n") == 3
+
+
+class TestPercentile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_single_value_is_every_percentile(self):
+        for q in (0, 50, 95, 100):
+            assert percentile([7.0], q) == 7.0
+
+    def test_endpoints_are_min_and_max(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 5.0
+
+    def test_interpolates_between_order_statistics(self):
+        # Nearest-rank would give 2.0 for p50 of [1, 2]; interpolation
+        # lands between the bracketing order statistics.
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_small_sample_tail_percentiles_distinct(self):
+        # The regression this fixes: with nearest-rank only, p95 and p99
+        # collapse to the max on small samples.
+        values = [1.0, 2.0, 3.0, 4.0, 100.0]
+        assert percentile(values, 95) < percentile(values, 99) < 100.0
+
+    def test_matches_numpy_linear_method(self):
+        import numpy as np
+
+        values = [3.1, 0.2, 9.7, 4.4, 5.0, 1.8, 2.2]
+        for q in (10, 25, 50, 75, 90, 95, 99):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
+
+    def test_input_order_irrelevant(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == percentile([1.0, 2.0, 3.0], 50)
+
+
+class TestFormatServiceTable:
+    ROW = {
+        "class": "interactive",
+        "n_arrived": 10,
+        "n_completed": 9,
+        "n_abandoned": 1,
+        "wait_p50": 0.01,
+        "wait_p99": 0.05,
+        "latency_p50": 0.2,
+        "latency_p95": 0.4,
+        "latency_p99": 0.5,
+        "throughput": 3.2,
+        "slo_attainment": 0.925,
+    }
+
+    def test_headers_and_values_rendered(self):
+        text = format_service_table([self.ROW])
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "class", "arrived", "done", "abandoned", "wait_p50", "wait_p99",
+            "lat_p50", "lat_p95", "lat_p99", "qps", "slo%",
+        ]
+        assert "interactive" in lines[2]
+        assert "92.5" in lines[2]  # slo_attainment scaled to percent
+
+    def test_missing_and_none_render_as_dash(self):
+        row = dict(self.ROW, slo_attainment=None)
+        del row["wait_p99"]
+        text = format_service_table([row]).splitlines()[2]
+        assert text.rstrip().endswith("-")
+        assert text.count("-") >= 2
+
+    def test_class_metrics_dict_is_accepted(self):
+        from repro.service.metrics import ClassMetrics
+
+        metrics = ClassMetrics(name="batch", n_arrived=3, n_completed=3)
+        text = format_service_table([metrics.as_dict()])
+        assert "batch" in text

@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.workloads",
     "repro.metrics",
     "repro.experiments",
+    "repro.service",
     "repro.extensions.index_sharing",
     "repro.extensions.attach_sharing",
     "repro.cli",

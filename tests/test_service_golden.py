@@ -1,0 +1,78 @@
+"""Golden-result test for one pinned open-arrival service scenario.
+
+``sv-steady`` at scale 0.1 / seed 42 — a Poisson interactive class over
+two closed batch streams — is replayed on every test run and compared
+field-by-field (plus by metrics digest) against a reference checked into
+``tests/golden/``.  Any change that moves a single admission decision,
+arrival draw, or engine counter fails here with the exact diverging
+field.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_service_golden.py --regen-golden
+
+then commit the updated golden file alongside the code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.runner import (
+    ExperimentTask,
+    execute_task,
+    first_divergence,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_FILE = GOLDEN_DIR / "service_open_arrivals.json"
+
+SCENARIO = ExperimentSettings(scale=0.1, seed=42)
+
+
+def _run_scenario() -> dict:
+    result = execute_task(ExperimentTask("sv-steady", SCENARIO))
+    return {
+        "scenario": {
+            "experiment": "sv-steady",
+            "scale": SCENARIO.scale,
+            "seed": SCENARIO.seed,
+        },
+        "digest": result.digest,
+        "metrics": result.metrics,
+    }
+
+
+def test_open_arrival_service_matches_golden(regen_golden):
+    actual = _run_scenario()
+    if regen_golden or not GOLDEN_FILE.exists():
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        GOLDEN_FILE.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        assert GOLDEN_FILE.exists()
+        return
+    golden = json.loads(GOLDEN_FILE.read_text())
+    divergence = first_divergence(golden, actual)
+    assert divergence is None, (
+        f"sv-steady diverged from tests/golden/{GOLDEN_FILE.name} at "
+        f"{divergence}; if this change is intentional, regenerate with "
+        f"--regen-golden (or REPRO_REGEN_GOLDEN=1) and commit the new "
+        f"golden file"
+    )
+
+
+def test_service_golden_file_is_committed():
+    """The reference must exist in the tree, not be a regen artifact."""
+    assert GOLDEN_FILE.exists(), (
+        "tests/golden/service_open_arrivals.json is missing; run with "
+        "--regen-golden once and commit it"
+    )
+    golden = json.loads(GOLDEN_FILE.read_text())
+    assert golden["scenario"]["experiment"] == "sv-steady"
+    assert len(golden["digest"]) == 64  # full sha256 metrics digest
+    assert golden["metrics"]["drained"] is True
+    assert golden["metrics"]["n_completed"] > 0
+    assert set(golden["metrics"]["classes"]) == {"interactive", "batch"}

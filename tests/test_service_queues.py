@@ -1,0 +1,149 @@
+"""Unit tests for admission queues and the weighted-fair selector."""
+
+import pytest
+
+from repro.service.queues import AdmissionQueue, QueryRequest, WeightedFairSelector
+from repro.service.spec import ServiceClass
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+def _request(request_id: int, class_name: str = "c") -> QueryRequest:
+    sim = Simulator()
+    return QueryRequest(
+        request_id=request_id, class_name=class_name, query=None,
+        arrived_at=0.0, completion=Event(sim),
+    )
+
+
+class TestQueryRequest:
+    def test_lifecycle_properties(self):
+        request = _request(1)
+        assert not request.admitted and not request.resolved
+        with pytest.raises(ValueError):
+            request.admission_wait
+        request.admitted_at = 2.0
+        request.arrived_at = 0.5
+        assert request.admitted
+        assert request.admission_wait == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            request.latency
+        request.finished_at = 4.0
+        assert request.resolved
+        assert request.latency == pytest.approx(3.5)
+
+    def test_abandoned_wait(self):
+        request = _request(2)
+        request.abandoned_at = 3.0
+        assert request.resolved and not request.admitted
+        assert request.admission_wait == pytest.approx(3.0)
+
+
+class TestAdmissionQueue:
+    def test_fifo_and_length_samples(self):
+        queue = AdmissionQueue(ServiceClass(name="c"))
+        a, b = _request(1), _request(2)
+        queue.push(a, 0.0)
+        queue.push(b, 1.0)
+        assert len(queue) == 2
+        assert queue.pop(2.0) is a
+        assert queue.pop(3.0) is b
+        assert queue.length_samples == [(0.0, 1), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+    def test_remove_is_idempotent(self):
+        queue = AdmissionQueue(ServiceClass(name="c"))
+        a = _request(1)
+        queue.push(a, 0.0)
+        assert queue.remove(a, 1.0)
+        assert not queue.remove(a, 2.0)
+        assert len(queue) == 0
+
+    def test_eligibility_respects_class_mpl(self):
+        queue = AdmissionQueue(ServiceClass(name="c", max_mpl=2))
+        assert not queue.eligible  # empty
+        queue.push(_request(1), 0.0)
+        assert queue.eligible
+        queue.running = 2
+        assert not queue.eligible  # at its per-class cap
+        queue.running = 1
+        assert queue.eligible
+
+    def test_zero_mpl_means_uncapped(self):
+        queue = AdmissionQueue(ServiceClass(name="c", max_mpl=0))
+        queue.push(_request(1), 0.0)
+        queue.running = 1000
+        assert queue.eligible
+
+
+class TestWeightedFairSelector:
+    def _make(self, *specs: ServiceClass):
+        queues = {spec.name: AdmissionQueue(spec) for spec in specs}
+        return queues, WeightedFairSelector(list(queues.values()))
+
+    def test_select_none_when_nothing_waits(self):
+        _, selector = self._make(ServiceClass(name="a"))
+        assert selector.select() is None
+
+    def test_weights_set_admission_ratio(self):
+        queues, selector = self._make(
+            ServiceClass(name="heavy", weight=3.0),
+            ServiceClass(name="light", weight=1.0),
+        )
+        for i in range(100):
+            queues["heavy"].push(_request(i, "heavy"), 0.0)
+            queues["light"].push(_request(100 + i, "light"), 0.0)
+        admitted = []
+        for _ in range(40):
+            queue = selector.select()
+            queue.pop(0.0)
+            selector.charge(queue)
+            admitted.append(queue.name)
+        # 3:1 share over 40 slots -> 30 heavy, 10 light.
+        assert admitted.count("heavy") == 30
+        assert admitted.count("light") == 10
+
+    def test_ties_break_by_name_deterministically(self):
+        queues, selector = self._make(
+            ServiceClass(name="b"), ServiceClass(name="a"),
+        )
+        queues["a"].push(_request(1, "a"), 0.0)
+        queues["b"].push(_request(2, "b"), 0.0)
+        assert selector.select().name == "a"  # equal virtual time -> name order
+
+    def test_skips_ineligible_class(self):
+        queues, selector = self._make(
+            ServiceClass(name="a", max_mpl=1, weight=10.0),
+            ServiceClass(name="b"),
+        )
+        queues["a"].push(_request(1, "a"), 0.0)
+        queues["b"].push(_request(2, "b"), 0.0)
+        queues["a"].running = 1  # a is capped out despite its weight
+        assert selector.select().name == "b"
+
+    def test_charge_accumulates_inverse_weight(self):
+        queues, selector = self._make(ServiceClass(name="a", weight=4.0))
+        selector.charge(queues["a"])
+        selector.charge(queues["a"])
+        assert selector.virtual_time("a") == pytest.approx(0.5)
+
+    def test_replay_is_reproducible(self):
+        def run():
+            queues, selector = self._make(
+                ServiceClass(name="x", weight=2.0),
+                ServiceClass(name="y", weight=1.5),
+                ServiceClass(name="z", weight=1.0),
+            )
+            for name, queue in queues.items():
+                for i in range(50):
+                    queue.push(_request(i, name), 0.0)
+            order = []
+            while True:
+                queue = selector.select()
+                if queue is None:
+                    break
+                queue.pop(0.0)
+                selector.charge(queue)
+                order.append(queue.name)
+            return order
+
+        assert run() == run()

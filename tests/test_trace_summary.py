@@ -1,0 +1,140 @@
+"""Trace-summary tests under interleaved multi-stream runs.
+
+``summarize``/``render_summary`` were previously only exercised on toy
+hand-built traces; here they (and the per-scan attribution helper) run
+against real interleaved workloads — six staggered streams over a small
+pool, and a full service-scenario run — where many scans' register /
+throttle / deregister threads overlap in one event stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SharingConfig
+from repro.engine.executor import run_workload
+from repro.trace import RingBufferSink, attribute_by_scan, summarize, tracing
+from repro.workloads.synthetic import uniform_scan_query
+
+from tests.conftest import make_database
+
+
+@pytest.fixture(scope="module")
+def interleaved_events():
+    """Six staggered streams over a 24-frame pool: scans overlap heavily."""
+    db = make_database(n_pages=96, pool_pages=24,
+                       sharing=SharingConfig(enabled=True))
+    streams = [
+        [uniform_scan_query("t", 0.0, 1.0, name=f"q{i}")] for i in range(6)
+    ]
+    sink = RingBufferSink(capacity=None)
+    with tracing(sink):
+        run_workload(db, streams, stagger=0.003)
+    return sink.events()
+
+
+class TestInterleavedOrdering:
+    def test_seq_strictly_increasing_across_streams(self, interleaved_events):
+        seqs = [e.seq for e in interleaved_events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_time_never_runs_backwards(self, interleaved_events):
+        times = [e.time for e in interleaved_events]
+        assert times == sorted(times)
+
+    def test_scan_lifetimes_actually_overlap(self, interleaved_events):
+        """The fixture must genuinely interleave, or the module tests nothing."""
+        live = 0
+        peak = 0
+        for event in interleaved_events:
+            if event.category != "manager":
+                continue
+            if event.kind == "register":
+                live += 1
+                peak = max(peak, live)
+            elif event.kind in ("deregister", "abort"):
+                live -= 1
+        assert peak >= 3
+
+    def test_summary_counts_match_manual_count(self, interleaved_events):
+        summary = summarize(interleaved_events)
+        assert summary["n_events"] == len(interleaved_events)
+        registers = sum(
+            1 for e in interleaved_events
+            if e.category == "manager" and e.kind == "register"
+        )
+        assert summary["counts"]["manager.register"] == registers == 6
+
+
+class TestAttributeByScan:
+    def test_every_stream_attributed(self, interleaved_events):
+        records = attribute_by_scan(interleaved_events)
+        assert len(records) == 6
+
+    def test_records_internally_consistent(self, interleaved_events):
+        records = attribute_by_scan(interleaved_events)
+        for scan_id, record in records.items():
+            assert record["table"] == "t"
+            assert record["registered_at"] is not None
+            assert record["end_kind"] == "deregister"
+            assert record["ended_at"] >= record["registered_at"]
+            assert record["pages_scanned"] == 96
+            assert record["throttle_wait"] >= 0.0
+
+    def test_joins_reference_earlier_scans(self, interleaved_events):
+        records = attribute_by_scan(interleaved_events)
+        joined = {
+            scan_id: record["joined_scan_id"]
+            for scan_id, record in records.items()
+            if record["joined_scan_id"] is not None
+        }
+        # With six near-simultaneous same-table scans, sharing must kick in.
+        assert joined
+        for scan_id, target in joined.items():
+            assert target in records
+            assert records[target]["registered_at"] <= (
+                records[scan_id]["registered_at"]
+            )
+
+    def test_pages_are_per_scan_not_pooled(self, interleaved_events):
+        # The classic attribution bug: crediting one scan with the whole
+        # group's page count.  Each scan reports its own full pass.
+        records = attribute_by_scan(interleaved_events)
+        total = sum(r["pages_scanned"] for r in records.values())
+        assert total == 6 * 96
+
+    def test_live_scan_has_open_record(self):
+        from repro.trace.events import ScanRegistered
+
+        events = [ScanRegistered(time=1.0, scan_id=7, table="x",
+                                 joined_scan_id=None)]
+        records = attribute_by_scan(events)
+        assert records[7]["end_kind"] is None
+        assert records[7]["ended_at"] is None
+
+    def test_ignores_non_manager_categories(self, interleaved_events):
+        only_manager = [e for e in interleaved_events
+                        if e.category == "manager"]
+        assert (attribute_by_scan(interleaved_events)
+                == attribute_by_scan(only_manager))
+
+
+class TestServiceRunAttribution:
+    def test_service_scenario_trace_attributes_cleanly(self):
+        from repro.experiments.harness import ExperimentSettings
+        from repro.service.scenarios import run_scenario
+
+        sink = RingBufferSink(capacity=None)
+        with tracing(sink):
+            result = run_scenario("steady", ExperimentSettings(scale=0.1, seed=42))
+        events = sink.events()
+        records = attribute_by_scan(events)
+        # Every admitted request ran >= 1 scan; each attributed scan
+        # either completed (deregister/abort) or was still live at drain.
+        assert len(records) >= result.n_completed
+        ended = [r for r in records.values() if r["end_kind"] is not None]
+        assert ended and all(r["end_kind"] in ("deregister", "abort")
+                             for r in ended)
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)

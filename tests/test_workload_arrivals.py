@@ -1,11 +1,18 @@
-"""Unit tests for the open-system arrival generator."""
+"""Unit tests for the open-system arrival generators."""
 
 import pytest
 
 from repro.core.config import SharingConfig
 from repro.engine.database import SystemConfig
 from repro.engine.executor import run_workload
-from repro.workloads.arrivals import poisson_arrivals
+from repro.workloads.arrivals import (
+    ARRIVAL_KINDS,
+    lognormal_arrivals,
+    make_arrivals,
+    mmpp_arrivals,
+    pareto_arrivals,
+    poisson_arrivals,
+)
 from repro.workloads.tpch_schema import make_tpch_database
 
 
@@ -58,3 +65,114 @@ class TestPoissonArrivals:
         assert len(result.streams) == plan.n_arrivals
         starts = sorted(s.started_at for s in result.streams)
         assert starts == sorted(plan.arrival_times)
+
+
+class TestHeavyTailedArrivals:
+    """Lognormal and Pareto generators share the Poisson contract."""
+
+    GENERATORS = [
+        (lognormal_arrivals, {"sigma": 1.0}),
+        (pareto_arrivals, {"alpha": 1.5}),
+    ]
+
+    @pytest.mark.parametrize("generate,kwargs", GENERATORS)
+    def test_validation(self, generate, kwargs):
+        with pytest.raises(ValueError):
+            generate(0.0, 1.0, **kwargs)
+        with pytest.raises(ValueError):
+            generate(1.0, 0.0, **kwargs)
+
+    def test_shape_parameters_validated(self):
+        with pytest.raises(ValueError, match="sigma"):
+            lognormal_arrivals(1.0, 1.0, sigma=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            pareto_arrivals(1.0, 1.0, alpha=1.0)  # infinite-mean regime
+
+    @pytest.mark.parametrize("generate,kwargs", GENERATORS)
+    def test_sorted_within_horizon_and_deterministic(self, generate, kwargs):
+        a = generate(5.0, 20.0, seed=11, **kwargs)
+        b = generate(5.0, 20.0, seed=11, **kwargs)
+        assert a.arrival_times == b.arrival_times
+        assert [q.name for q in a.queries] == [q.name for q in b.queries]
+        assert all(0 <= t < 20.0 for t in a.arrival_times)
+        assert a.arrival_times == sorted(a.arrival_times)
+
+    @pytest.mark.parametrize("generate,kwargs", GENERATORS)
+    def test_mean_rate_preserved(self, generate, kwargs):
+        # Both are parameterised so the mean gap is 1/rate regardless of
+        # the tail shape: expect ~rate*horizon arrivals, generous slack
+        # because heavy tails converge slowly.
+        plan = generate(10.0, 200.0, seed=4, **kwargs)
+        assert 1_200 < plan.n_arrivals < 2_800
+
+    def test_lognormal_tail_heavier_with_sigma(self):
+        light = lognormal_arrivals(10.0, 500.0, seed=5, sigma=0.25)
+        heavy = lognormal_arrivals(10.0, 500.0, seed=5, sigma=2.0)
+
+        def max_gap(plan):
+            times = plan.arrival_times
+            return max(b - a for a, b in zip(times, times[1:]))
+
+        assert max_gap(heavy) > 4 * max_gap(light)
+
+
+class TestMmppArrivals:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmpp_arrivals(0.0, 1.0)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(1.0, 1.0, rate_off=-0.1)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(1.0, 1.0, mean_on_seconds=0.0)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(1.0, 1.0, mean_off_seconds=0.0)
+
+    def test_deterministic_and_sorted(self):
+        a = mmpp_arrivals(20.0, 50.0, seed=8, mean_on_seconds=2.0,
+                          mean_off_seconds=3.0)
+        b = mmpp_arrivals(20.0, 50.0, seed=8, mean_on_seconds=2.0,
+                          mean_off_seconds=3.0)
+        assert a.arrival_times == b.arrival_times
+        assert a.arrival_times == sorted(a.arrival_times)
+        assert all(0 <= t < 50.0 for t in a.arrival_times)
+
+    def test_silent_off_phase_produces_gaps(self):
+        plan = mmpp_arrivals(50.0, 100.0, seed=3, rate_off=0.0,
+                             mean_on_seconds=1.0, mean_off_seconds=2.0)
+        times = plan.arrival_times
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # ON gaps ~0.02s; OFF sojourns ~2s: the trace must show both.
+        assert min(gaps) < 0.1
+        assert max(gaps) > 0.5
+
+    def test_off_rate_fills_the_gaps(self):
+        silent = mmpp_arrivals(50.0, 100.0, seed=3, rate_off=0.0)
+        trickle = mmpp_arrivals(50.0, 100.0, seed=3, rate_off=5.0)
+        assert trickle.n_arrivals > silent.n_arrivals
+
+    def test_effective_rate_between_on_and_off(self):
+        plan = mmpp_arrivals(40.0, 300.0, seed=6, rate_off=0.0,
+                             mean_on_seconds=1.0, mean_off_seconds=1.0)
+        # Equal sojourns, silent OFF phase: effective rate ~ on/2.
+        effective = plan.n_arrivals / 300.0
+        assert 10.0 < effective < 30.0
+
+
+class TestMakeArrivals:
+    def test_dispatches_every_kind(self):
+        for kind in ARRIVAL_KINDS:
+            plan = make_arrivals(kind, 5.0, 10.0, seed=1)
+            assert plan.n_arrivals > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            make_arrivals("uniform", 5.0, 10.0)
+
+    def test_dispatch_matches_direct_call(self):
+        via_dispatch = make_arrivals("lognormal", 4.0, 15.0, seed=2, sigma=1.3)
+        direct = lognormal_arrivals(4.0, 15.0, seed=2, sigma=1.3)
+        assert via_dispatch.arrival_times == direct.arrival_times
+
+    def test_max_arrivals_caps_plan(self):
+        plan = make_arrivals("poisson", 100.0, 100.0, max_arrivals=25)
+        assert plan.n_arrivals == 25
