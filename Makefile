@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-quick bench-check bench-guards serve-quick serve-soak
+.PHONY: test test-fast bench bench-quick bench-check bench-guards policy-smoke serve-quick serve-soak
 
 test:            ## full tier-1 suite
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,18 @@ bench-check:     ## quick run gated against the committed baseline (CI gate)
 
 bench-guards:    ## pytest-level perf guards (fix-hit speedup, dispatch sanity)
 	$(PYTHON) -m pytest -x -q benchmarks/perf
+
+policy-smoke:    ## three sharing policies on the quick staggered scenario, digest-checked
+	$(PYTHON) -m repro sweep e2 --param sharing_policy \
+		--values grouping-throttling,cooperative,pbm \
+		--scale 0.1 --streams 2 --jobs 1 --no-cache --out policy-serial.json
+	$(PYTHON) -m repro sweep e2 --param sharing_policy \
+		--values grouping-throttling,cooperative,pbm \
+		--scale 0.1 --streams 2 --jobs 3 --no-cache --out policy-parallel.json
+	$(PYTHON) -c "import json; s=json.load(open('policy-serial.json')); \
+		p=json.load(open('policy-parallel.json')); \
+		assert s['suite_digest'] == p['suite_digest'], 'policy sweep diverged under --jobs'; \
+		print('policy smoke OK:', s['suite_digest'][:12])"
 
 serve-quick:     ## service-layer smoke: steady scenario, bounds asserted
 	$(PYTHON) -m repro serve-sim steady --quick --no-cache --assert-bounded

@@ -12,7 +12,7 @@ the policy-comparison ablation.
 """
 
 from repro.buffer.page import Frame, PageKey, Priority
-from repro.buffer.pool import BufferPool, BufferPoolError
+from repro.buffer.pool import BufferPool, BufferPoolError, PoolExhausted
 from repro.buffer.stats import BufferStats
 from repro.buffer.replacement import (
     ArcPolicy,
@@ -24,6 +24,7 @@ from repro.buffer.replacement import (
     LruKPolicy,
     LruPolicy,
     MruPolicy,
+    PbmPolicy,
     PriorityLruPolicy,
     ReplacementPolicy,
     TwoQPolicy,
@@ -45,6 +46,8 @@ __all__ = [
     "LruPolicy",
     "MruPolicy",
     "PageKey",
+    "PbmPolicy",
+    "PoolExhausted",
     "Priority",
     "PriorityLruPolicy",
     "ReplacementPolicy",

@@ -44,6 +44,17 @@ class BufferPoolError(RuntimeError):
     """Raised on pin-count misuse or pool overcommit."""
 
 
+class PoolExhausted(BufferPoolError):
+    """Every frame is pinned, reserved, or in flight: no victim exists.
+
+    The single typed endpoint for "the pool cannot make room": raised
+    only after eviction found nothing, no in-flight read can be waited
+    on, and no reserved frame can be clawed back.  Callers that want to
+    survive overcommit (rather than treat it as a bug) catch this one
+    type instead of pattern-matching message strings.
+    """
+
+
 class BufferPool:
     """A fixed-capacity page cache over a simulated disk."""
 
@@ -315,7 +326,7 @@ class BufferPool:
                 # frames: claw one back rather than wedging the scan.
                 self._reserved -= 1
                 continue
-            raise BufferPoolError(
+            raise PoolExhausted(
                 f"bufferpool {self.name} overcommitted: all "
                 f"{self.capacity} pages pinned"
             )

@@ -12,6 +12,7 @@ from repro.buffer.replacement.lru import FifoPolicy, LruPolicy, MruPolicy
 from repro.buffer.replacement.lirs import LirsPolicy
 from repro.buffer.replacement.lrfu import LrfuPolicy
 from repro.buffer.replacement.lru_k import LruKPolicy
+from repro.buffer.replacement.pbm import PbmPolicy
 from repro.buffer.replacement.priority_lru import PriorityLruPolicy
 from repro.buffer.replacement.two_q import TwoQPolicy
 
@@ -27,6 +28,7 @@ _POLICY_NAMES = (
     "lrfu",
     "lirs",
     "arc",
+    "pbm",
 )
 
 
@@ -65,6 +67,9 @@ def make_policy(name: str, capacity: Optional[int] = None) -> ReplacementPolicy:
         if capacity is None:
             raise ValueError("ARC policy requires the pool capacity")
         return ArcPolicy(capacity)
+    if normalized == "pbm":
+        # Degrades to LRU until Database.open binds the scan registry.
+        return PbmPolicy()
     raise ValueError(f"unknown replacement policy {name!r}; known: {_POLICY_NAMES}")
 
 
@@ -78,6 +83,7 @@ __all__ = [
     "LruKPolicy",
     "LruPolicy",
     "MruPolicy",
+    "PbmPolicy",
     "PriorityLruPolicy",
     "ReplacementPolicy",
     "TwoQPolicy",

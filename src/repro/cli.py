@@ -183,6 +183,9 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
     parser.add_argument("--policy", default="priority-lru",
                         help="bufferpool victim policy")
+    parser.add_argument("--sharing-policy", default="grouping-throttling",
+                        help="scan-sharing strategy: grouping-throttling, "
+                             "cooperative, or pbm")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="fault spec or builtin plan name (e.g. "
                              "'leader-abort' or 'disk-delay:factor=4')")
@@ -267,9 +270,18 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
             parse_fault_spec(fault_spec)  # fail fast with a clean error
         except FaultSpecError as exc:
             raise SystemExit(f"repro: error: bad --faults spec: {exc}")
+    sharing_policy = getattr(args, "sharing_policy", "grouping-throttling")
+    from repro.core.policy import SHARING_POLICY_NAMES
+
+    if sharing_policy not in SHARING_POLICY_NAMES:
+        raise SystemExit(
+            f"repro: error: unknown --sharing-policy {sharing_policy!r} "
+            f"(known: {', '.join(SHARING_POLICY_NAMES)})"
+        )
     return ExperimentSettings(
         scale=args.scale, n_streams=args.streams, seed=args.seed,
-        policy=args.policy, sharing_overrides=sharing_overrides,
+        policy=args.policy, sharing_policy=sharing_policy,
+        sharing_overrides=sharing_overrides,
         fault_spec=fault_spec,
     )
 
@@ -352,10 +364,36 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     )]
     for task in suite.tasks:
         parts.append(f"\n--- {task.label} ---\n{task.render}")
+    if args.param == "sharing_policy":
+        table = _sharing_policy_sweep_table(suite)
+        if table:
+            parts.append("\n=== sharing-policy comparison ===\n" + table)
     if args.out:
         write_suite_json(suite, args.out)
         parts.append(f"\nresults written to {args.out}")
     return "\n".join(parts)
+
+
+def _sharing_policy_sweep_table(suite) -> str:
+    """One aggregated comparison table for a ``sharing_policy`` sweep.
+
+    Works for any experiment whose metrics look like one policy run
+    (``pl-mix``) — grid points missing the expected keys degrade to
+    ``-`` cells rather than breaking the sweep output.
+    """
+    from repro.metrics.report import format_policy_table
+
+    rows = []
+    for task in suite.tasks:
+        metrics = task.metrics
+        if not isinstance(metrics, dict) or "makespan" not in metrics:
+            continue
+        row = dict(metrics)
+        row.setdefault("policy", task.sweep_point.partition("=")[2])
+        rows.append(row)
+    if not rows:
+        return ""
+    return format_policy_table(rows)
 
 
 def _cmd_trace(args: argparse.Namespace) -> str:

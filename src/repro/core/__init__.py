@@ -20,19 +20,38 @@ Multiple Relational Table Scans through Grouping and Throttling"*:
 
 Everything below the manager — bufferpool, disk, storage — is treated as
 a black box, exactly as the paper requires.
+
+The manager is one of several strategies behind the pluggable
+:class:`~repro.core.policy.SharingPolicy` interface; its rivals —
+cooperative attach/elevator scans (:mod:`repro.core.cooperative`) and
+predictive buffer management (:mod:`repro.core.pbm`) — share the exact
+same scan-side callbacks, so head-to-head comparisons change nothing but
+the policy.
 """
 
 from repro.core.config import SharingConfig
+from repro.core.cooperative import CooperativeScanManager
 from repro.core.manager import ScanSharingManager, SharingStats
+from repro.core.pbm import PbmScanManager
+from repro.core.policy import (
+    SHARING_POLICY_NAMES,
+    SharingPolicy,
+    make_sharing_policy,
+)
 from repro.core.scan_state import ScanDescriptor, ScanState
 from repro.core.grouping import ScanGroup, form_groups
 
 __all__ = [
+    "SHARING_POLICY_NAMES",
+    "CooperativeScanManager",
+    "PbmScanManager",
     "ScanDescriptor",
     "ScanGroup",
     "ScanSharingManager",
     "ScanState",
     "SharingConfig",
+    "SharingPolicy",
     "SharingStats",
     "form_groups",
+    "make_sharing_policy",
 ]

@@ -37,6 +37,16 @@ class SharingConfig:
             never throttled again (the paper's 80 % fairness rule).
         min_share_pages: Placement joins an ongoing scan only if the
             estimated number of co-read pages is at least this.
+        last_finished_retention_wraps: A finished scan's end position is
+            kept as a placement hint only until this many bufferpool
+            turnovers of scan traffic (pages reported via location
+            updates, in units of the pool capacity) have streamed past.
+            Beyond that the pages the finisher left behind are certainly
+            evicted, and placing a late arrival behind the cold position
+            would only delay its sequential start.  The default is
+            deliberately conservative — several dozen turnovers — so the
+            hint is pruned only when it is overwhelmingly certain to be
+            cold.
         regroup_interval: Seconds between group re-formations.
         speed_smoothing: Weight of the newest speed sample in the
             exponential moving average (1.0 = use only the latest
@@ -56,6 +66,7 @@ class SharingConfig:
     max_wait_per_update: float = 0.5
     slowdown_cap_fraction: float = 0.8
     min_share_pages: int = 16
+    last_finished_retention_wraps: float = 64.0
     regroup_interval: float = 0.25
     speed_smoothing: float = 0.7
     pool_budget_fraction: float = 1.0
@@ -82,6 +93,11 @@ class SharingConfig:
         if not 0.0 < self.speed_smoothing <= 1.0:
             raise ValueError(
                 f"speed_smoothing must be in (0, 1], got {self.speed_smoothing}"
+            )
+        if self.last_finished_retention_wraps <= 0:
+            raise ValueError(
+                f"last_finished_retention_wraps must be > 0, got "
+                f"{self.last_finished_retention_wraps}"
             )
         if not 0.0 < self.pool_budget_fraction <= 1.0:
             raise ValueError(

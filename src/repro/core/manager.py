@@ -11,53 +11,63 @@ exactly the calls the paper adds to the scan code:
 * :meth:`ScanSharingManager.end_scan` — deregister.
 
 The manager never touches the bufferpool or the disk; it only observes
-scan progress and returns placement, wait, and priority decisions.
+scan progress and returns placement, wait, and priority decisions.  It is
+the ``grouping-throttling`` implementation of the pluggable
+:class:`~repro.core.policy.SharingPolicy` interface; the rival policies
+live in :mod:`repro.core.cooperative` and :mod:`repro.core.pbm`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.buffer.page import Priority
 from repro.core.config import SharingConfig
 from repro.core.grouping import ScanGroup, form_groups
 from repro.core.placement import PlacementDecision, choose_start
+from repro.core.policy import SharingPolicy, SharingStats
 from repro.core.priority import release_priority
 from repro.core.scan_state import ScanDescriptor, ScanState
 from repro.core.throttle import evaluate_throttle
 from repro.sim.kernel import Simulator
 from repro.storage.catalog import Catalog
-from repro.trace.events import (
-    FairnessCapTripped,
-    Regrouped,
-    ScanAborted,
-    ScanDeregistered,
-    ScanRegistered,
-    ThrottleEvaluated,
-)
+from repro.trace.events import FairnessCapTripped, Regrouped, ThrottleEvaluated
 from repro.trace.tracer import get_tracer
 
-
-@dataclass
-class SharingStats:
-    """Counters exposed for tests and experiment reports."""
-
-    scans_started: int = 0
-    scans_finished: int = 0
-    scans_aborted: int = 0
-    scans_joined_ongoing: int = 0
-    scans_joined_last_finished: int = 0
-    regroups: int = 0
-    throttle_waits: int = 0
-    total_throttle_time: float = 0.0
-    fairness_cap_hits: int = 0
-    # (time, number_of_groups) samples taken at each regroup.
-    group_count_trace: List[Tuple[float, int]] = field(default_factory=list)
+__all__ = ["ScanSharingManager", "SharingStats"]
 
 
-class ScanSharingManager:
+@dataclass(frozen=True)
+class LastFinishedMark:
+    """Where the last scan on a table finished, and under how much load.
+
+    The position is only a useful placement hint while the pages trailing
+    it may still be resident.  Residency is governed by eviction pressure,
+    not by wall-clock time — a mark on a small hot table stays warm for
+    arbitrarily long if nothing competes for frames — so the mark records
+    the manager's cumulative observed scan traffic (``observed_pages``)
+    at finish time.  Once the elevator has streamed enough further pages
+    past the pool to have wrapped (turned over) its capacity many times,
+    everything the finisher left behind is certainly cold and the mark is
+    dropped.
+    """
+
+    position: int
+    observed_pages: int
+
+    def stale(self, observed_now: int, pool_capacity: int,
+              retention_wraps: float) -> bool:
+        """Whether observed traffic since the finish could have turned the
+        pool over ``retention_wraps`` times, evicting the leftovers."""
+        elapsed_pages = observed_now - self.observed_pages
+        return elapsed_pages >= retention_wraps * max(pool_capacity, 1)
+
+
+class ScanSharingManager(SharingPolicy):
     """Tracks ongoing scans and issues placement/throttle/priority decisions."""
+
+    policy_name = "grouping-throttling"
 
     def __init__(
         self,
@@ -66,21 +76,14 @@ class ScanSharingManager:
         pool_capacity: int,
         config: Optional[SharingConfig] = None,
     ):
-        self.sim = sim
-        self.catalog = catalog
-        self.pool_capacity = pool_capacity
-        self.config = config or SharingConfig()
-        self.stats = SharingStats()
-        self._states: Dict[int, ScanState] = {}
+        super().__init__(sim, catalog, pool_capacity, config)
         self._groups: List[ScanGroup] = []
         self._group_by_id: Dict[int, ScanGroup] = {}
-        self._last_finished: Dict[str, int] = {}  # table -> final position
+        self._last_finished: Dict[str, LastFinishedMark] = {}
+        # Cumulative pages reported via update_location across all scans:
+        # the eviction-pressure clock that ages last-finished marks out.
+        self._observed_pages = 0
         self._last_regroup_time: float = -1.0
-        self._next_scan_id = 0
-        # Set by the fault injector: called after every group rebuild so
-        # the invariant checker sees each membership change.  None (the
-        # default) costs one attribute test per regroup.
-        self.invariant_hook: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # Scan lifecycle callbacks
@@ -88,39 +91,9 @@ class ScanSharingManager:
 
     def start_scan(self, descriptor: ScanDescriptor) -> ScanState:
         """Register a new scan and decide where it starts."""
-        table = self.catalog.table(descriptor.table_name)
-        if descriptor.last_page >= table.n_pages:
-            raise ValueError(
-                f"scan range [{descriptor.first_page}, {descriptor.last_page}] "
-                f"exceeds table {table.name!r} of {table.n_pages} pages"
-            )
+        table = self._checked_table(descriptor)
         decision = self._place(descriptor, table.extent_size)
-        state = ScanState(
-            scan_id=self._next_scan_id,
-            descriptor=descriptor,
-            start_page=decision.start_page,
-            start_time=self.sim.now,
-            speed=descriptor.estimated_speed,
-            last_update_time=self.sim.now,
-        )
-        self._next_scan_id += 1
-        self._states[state.scan_id] = state
-        self.stats.scans_started += 1
-        if decision.joined_scan_id is not None:
-            self.stats.scans_joined_ongoing += 1
-        if decision.joined_last_finished:
-            self.stats.scans_joined_last_finished += 1
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.emit(ScanRegistered(
-                time=self.sim.now, scan_id=state.scan_id,
-                table=descriptor.table_name,
-                first_page=descriptor.first_page,
-                last_page=descriptor.last_page,
-                start_page=decision.start_page,
-                joined_scan_id=decision.joined_scan_id,
-                joined_last_finished=decision.joined_last_finished,
-            ))
+        state = self._admit(descriptor, decision)
         self._regroup(force=True)
         return state
 
@@ -130,26 +103,10 @@ class ScanSharingManager:
         ``pages_scanned`` is the cumulative page count since scan start
         (monotonically non-decreasing).
         """
-        state = self._state(scan_id)
-        if pages_scanned < state.pages_scanned:
-            raise ValueError(
-                f"scan {scan_id}: pages_scanned went backwards "
-                f"({pages_scanned} < {state.pages_scanned})"
-            )
+        previously_reported = self._state(scan_id).pages_at_last_update
+        state = self._record_progress(scan_id, pages_scanned)
+        self._observed_pages += pages_scanned - previously_reported
         now = self.sim.now
-        delta_pages = pages_scanned - state.pages_at_last_update
-        delta_time = now - state.last_update_time
-        state.pages_scanned = pages_scanned
-        if delta_time > 0 and delta_pages > 0:
-            instantaneous = delta_pages / delta_time
-            alpha = self.config.speed_smoothing
-            state.speed = alpha * instantaneous + (1.0 - alpha) * state.speed
-        # Advance the bookkeeping unconditionally: pages reported in a
-        # zero-elapsed-time update must not be counted again in the next
-        # sample's delta, and a no-progress interval must not stretch the
-        # next sample's time window.
-        state.last_update_time = now
-        state.pages_at_last_update = pages_scanned
 
         if not self.config.enabled:
             return 0.0
@@ -197,7 +154,6 @@ class ScanSharingManager:
     def end_scan(self, scan_id: int) -> None:
         """Deregister a finished scan."""
         state = self._state(scan_id)
-        state.finished = True
         # Remember where the scan's *reading* stopped (one page before its
         # wrapped final position): the pages it left in the bufferpool
         # trail that location, and a future scan may start there.  A scan
@@ -206,17 +162,11 @@ class ScanSharingManager:
         if state.pages_scanned > 0:
             first = state.descriptor.first_page
             final_read = first + (state.position - first - 1) % state.range_pages
-            self._last_finished[state.descriptor.table_name] = final_read
-        del self._states[scan_id]
-        self.stats.scans_finished += 1
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.emit(ScanDeregistered(
-                time=self.sim.now, scan_id=scan_id,
-                table=state.descriptor.table_name,
-                pages_scanned=state.pages_scanned,
-                accumulated_delay=state.accumulated_delay,
-            ))
+            self._last_finished[state.descriptor.table_name] = LastFinishedMark(
+                position=final_read,
+                observed_pages=self._observed_pages,
+            )
+        self._retire(scan_id, aborted=False)
         self._regroup(force=True)
 
     def abort_scan(self, scan_id: int) -> None:
@@ -229,57 +179,42 @@ class ScanSharingManager:
         aborted scan's position is *not* recorded as a last-finished
         location — its partial footprint is not a placement signal.
         """
-        state = self._state(scan_id)
-        state.finished = True
-        del self._states[scan_id]
-        self.stats.scans_aborted += 1
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.emit(ScanAborted(
-                time=self.sim.now, scan_id=scan_id,
-                table=state.descriptor.table_name,
-                pages_scanned=state.pages_scanned,
-            ))
+        self._retire(scan_id, aborted=True)
         self._regroup(force=True)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
-    @property
-    def active_scan_count(self) -> int:
-        """Number of currently registered scans."""
-        return len(self._states)
-
-    def active_scans(self) -> List[ScanState]:
-        """Snapshot of registered scan states."""
-        return list(self._states.values())
-
     def groups(self) -> List[ScanGroup]:
         """The most recently formed groups."""
         return list(self._groups)
-
-    def scan_state(self, scan_id: int) -> ScanState:
-        """State of a registered scan (raises if unknown/finished)."""
-        return self._state(scan_id)
 
     def group_of(self, scan_id: int) -> Optional[ScanGroup]:
         """The group a registered scan currently belongs to, if any."""
         return self._group_of(self._state(scan_id))
 
     def last_finished_position(self, table_name: str) -> Optional[int]:
-        """Final position of the last scan that finished on a table."""
-        return self._last_finished.get(table_name)
+        """Final position of the last scan that finished on a table.
+
+        Ages out: None once the scan traffic observed since the finish
+        could have turned the bufferpool over
+        ``config.last_finished_retention_wraps`` times — by then the
+        pages trailing the mark are cold, and placing a late arrival
+        there would only delay its own sequential start for no hits.
+        """
+        mark = self._last_finished.get(table_name)
+        if mark is None:
+            return None
+        if mark.stale(self._observed_pages, self.pool_capacity,
+                      self.config.last_finished_retention_wraps):
+            del self._last_finished[table_name]
+            return None
+        return mark.position
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-
-    def _state(self, scan_id: int) -> ScanState:
-        try:
-            return self._states[scan_id]
-        except KeyError:
-            raise KeyError(f"unknown or finished scan id {scan_id}") from None
 
     def _place(self, descriptor: ScanDescriptor, extent_size: int) -> PlacementDecision:
         candidates = [
@@ -292,10 +227,13 @@ class ScanSharingManager:
             candidates,
             self.config,
             extent_size,
-            last_finished_position=self._last_finished.get(descriptor.table_name),
+            last_finished_position=self.last_finished_position(
+                descriptor.table_name
+            ),
             # Conservative estimate of the finished scan's pages still
             # resident: other scans and tables share the pool.
             leftover_pages=self.pool_capacity // 2,
+            table_pages=self.catalog.table(descriptor.table_name).n_pages,
         )
 
     def _group_of(self, state: ScanState) -> Optional[ScanGroup]:

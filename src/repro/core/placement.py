@@ -15,6 +15,7 @@ scan left behind in the pool (the paper's special case).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -66,11 +67,24 @@ def expected_shared_pages(descriptor: ScanDescriptor, candidate: ScanState) -> f
     estimated = candidate.descriptor.estimated_pages
     if estimated is not None:
         remaining = min(remaining, max(0, estimated - candidate.pages_scanned))
-    horizon = min(remaining, phase_one_pages)
-    slower = min(descriptor.estimated_speed, candidate.speed)
-    faster = max(descriptor.estimated_speed, candidate.speed)
-    if slower <= 0 or faster <= 0:
+    if remaining <= 0:
         return 0.0
+    horizon = min(remaining, phase_one_pages)
+    if horizon <= 0:
+        return 0.0
+    new_speed = descriptor.estimated_speed
+    candidate_speed = candidate.speed
+    # A zero/negative speed shares nothing; a non-finite one (a stalled
+    # candidate whose smoothed speed overflowed, or a NaN from upstream)
+    # must yield 0.0 rather than propagate inf/nan into the score.  The
+    # raw speeds are checked, not min/max of them: min(x, nan) is x, so a
+    # NaN would otherwise slip through as a perfect speed match.
+    if not math.isfinite(new_speed) or not math.isfinite(candidate_speed):
+        return 0.0
+    if new_speed <= 0 or candidate_speed <= 0:
+        return 0.0
+    slower = min(new_speed, candidate_speed)
+    faster = max(new_speed, candidate_speed)
     return horizon * (slower / faster)
 
 
@@ -89,6 +103,7 @@ def choose_start(
     extent_size: int,
     last_finished_position: Optional[int] = None,
     leftover_pages: int = 0,
+    table_pages: Optional[int] = None,
 ) -> PlacementDecision:
     """Pick the new scan's starting page.
 
@@ -101,10 +116,18 @@ def choose_start(
     pages are still in the bufferpool, so the new scan starts that many
     pages earlier and turns them into hits (the paper's "technically, we
     should start several pages before the last scan's location").
+    ``table_pages`` (when known) guards extent alignment against tables
+    smaller than a single extent.
     """
     default = PlacementDecision(start_page=descriptor.first_page)
     if not config.enabled or not config.placement_enabled:
         return default
+    if table_pages is not None and extent_size > table_pages:
+        # A degenerate table smaller than one extent would snap every
+        # join position back to page zero, silently defeating placement.
+        # Treat alignment as a no-op instead: joins land on the exact
+        # candidate position.
+        extent_size = 0
 
     best_candidate: Optional[ScanState] = None
     best_score = 0.0

@@ -7,8 +7,14 @@ from typing import Generator, Optional
 
 from repro.buffer.pool import BufferPool
 from repro.buffer.replacement import make_policy
+from repro.buffer.replacement.pbm import PbmPolicy
 from repro.core.config import SharingConfig
-from repro.core.manager import ScanSharingManager
+from repro.core.pbm import PbmScanManager
+from repro.core.policy import (
+    SHARING_POLICY_NAMES,
+    SharingPolicy,
+    make_sharing_policy,
+)
 from repro.disk.array import DiskArray
 from repro.disk.device import Disk
 from repro.disk.geometry import DiskGeometry
@@ -37,6 +43,11 @@ class SystemConfig:
     #: Floor on the derived pool size (must cover pins + prefetch runs).
     min_pool_pages: int = 96
     policy: str = "priority-lru"
+    #: Which scan-sharing strategy coordinates scans (see
+    #: :data:`repro.core.policy.SHARING_POLICY_NAMES`).  ``pbm``
+    #: additionally replaces the bufferpool victim policy with the
+    #: reuse-time-predictive one while sharing is enabled.
+    sharing_policy: str = "grouping-throttling"
     disk_scheduler: str = "fifo"
     #: Number of striped spindles; 1 = single disk (the default model).
     n_disks: int = 1
@@ -73,6 +84,11 @@ class SystemConfig:
             raise ValueError(
                 f"disk_stripe_pages must be >= 1, got {self.disk_stripe_pages}"
             )
+        if self.sharing_policy not in SHARING_POLICY_NAMES:
+            raise ValueError(
+                f"unknown sharing policy {self.sharing_policy!r}; "
+                f"known: {SHARING_POLICY_NAMES}"
+            )
 
 
 class Database:
@@ -106,7 +122,7 @@ class Database:
         self.metrics = MetricsCollector()
         self.cost = self.config.cost
         self._pool: Optional[BufferPool] = None
-        self._sharing: Optional[ScanSharingManager] = None
+        self._sharing: Optional[SharingPolicy] = None
         self.faults: Optional[FaultInjector] = None
         self._block_indexes: dict = {}
         self._index_managers: dict = {}
@@ -139,15 +155,29 @@ class Database:
             self.config.min_pool_pages,
             int(self.catalog.total_pages * self.config.pool_fraction),
         )
+        self._sharing = make_sharing_policy(
+            self.config.sharing_policy, self.sim, self.catalog, capacity,
+            self.config.sharing,
+        )
+        if (
+            self.config.sharing_policy == "pbm"
+            and self.config.sharing.enabled
+        ):
+            # PBM *is* a replacement policy: with sharing on, the pool
+            # evicts by predicted reuse time instead of config.policy.
+            pool_policy = make_policy("pbm", capacity)
+        else:
+            pool_policy = make_policy(self.config.policy, capacity)
+        if isinstance(pool_policy, PbmPolicy) and isinstance(
+            self._sharing, PbmScanManager
+        ):
+            pool_policy.bind(self._sharing)
         self._pool = BufferPool(
             self.sim,
             self.disk,
             capacity=capacity,
             address_of=self.catalog.address_of,
-            policy=make_policy(self.config.policy, capacity),
-        )
-        self._sharing = ScanSharingManager(
-            self.sim, self.catalog, capacity, self.config.sharing
+            policy=pool_policy,
         )
         if self.config.fault_plan is not None:
             self.faults = FaultInjector(self.sim, self.config.fault_plan)
@@ -169,8 +199,8 @@ class Database:
         return self._pool
 
     @property
-    def sharing(self) -> ScanSharingManager:
-        """The scan sharing manager (requires :meth:`open`)."""
+    def sharing(self) -> SharingPolicy:
+        """The scan sharing policy (requires :meth:`open`)."""
         if self._sharing is None:
             raise RuntimeError("database not open; call Database.open() first")
         return self._sharing

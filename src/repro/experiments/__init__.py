@@ -13,6 +13,12 @@ from repro.experiments.harness import (
     compare_modes,
     run_mode,
 )
+from repro.experiments.policies import (
+    PolicyComparisonResult,
+    PolicyMixResult,
+    pl_head2head,
+    pl_mix,
+)
 from repro.experiments.registry import (
     REGISTRY,
     ExperimentSpec,
@@ -57,6 +63,8 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentTask",
     "ModeResult",
+    "PolicyComparisonResult",
+    "PolicyMixResult",
     "REGISTRY",
     "ResultCache",
     "SuiteResult",
@@ -77,6 +85,8 @@ __all__ = [
     "ablation_priority",
     "ablation_threshold",
     "ablation_throttling",
+    "pl_head2head",
+    "pl_mix",
     "compare_modes",
     "e1_overhead",
     "e2_staggered_q6",

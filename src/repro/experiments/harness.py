@@ -32,6 +32,10 @@ class ExperimentSettings:
     stagger: float = 0.0
     n_cpus: int = 4
     policy: str = "priority-lru"
+    #: Scan-sharing strategy for the shared mode (see
+    #: :data:`repro.core.policy.SHARING_POLICY_NAMES`); part of every
+    #: cache key, and sweepable via ``repro sweep --param sharing_policy``.
+    sharing_policy: str = "grouping-throttling"
     disk_scheduler: str = "fifo"
     n_disks: int = 1
     pool_fraction: float = 0.05
@@ -154,6 +158,7 @@ def build_database(
         pool_pages=settings.pool_pages,
         pool_fraction=settings.pool_fraction,
         policy=settings.policy,
+        sharing_policy=settings.sharing_policy,
         disk_scheduler=settings.disk_scheduler,
         n_disks=settings.n_disks,
         sharing=sharing,

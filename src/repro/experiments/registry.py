@@ -42,6 +42,12 @@ from repro.experiments.experiments import (
     e9_stream_scaling,
 )
 from repro.experiments.harness import Comparison, ExperimentSettings
+from repro.experiments.policies import (
+    PolicyComparisonResult,
+    PolicyMixResult,
+    pl_head2head,
+    pl_mix,
+)
 from repro.metrics.report import format_table
 from repro.service.metrics import ServiceComparison, ServiceResult
 from repro.service.scenarios import sv_burst, sv_overload, sv_soak, sv_steady
@@ -121,6 +127,11 @@ register("a6", "ablation: fairness-cap sweep", ablation_fairness_cap)
 register("a7", "ablation: disk scheduler vs coordination",
          ablation_disk_scheduler)
 register("a9", "ablation: spindle count vs coordination", ablation_disk_array)
+register("pl-mix", "policy: stream mix under settings.sharing_policy "
+         "(sweep over sharing_policy for a comparison table)", pl_mix)
+register("pl-head2head",
+         "policy: Base vs grouping-throttling vs cooperative vs pbm",
+         pl_head2head)
 register("sv-steady", "service: steady mixed open+closed load", sv_steady)
 register("sv-overload",
          "service: overload backpressure, controller on vs off", sv_overload)
@@ -207,6 +218,8 @@ def metrics_of(result: Any) -> Dict[str, Any]:
                 for label, makespan, pages, seeks in result.rows
             ],
         }
+    if isinstance(result, (PolicyMixResult, PolicyComparisonResult)):
+        return result.metrics()
     if isinstance(result, Comparison):
         return comparison_metrics(result)
     if isinstance(result, (ServiceResult, ServiceComparison)):

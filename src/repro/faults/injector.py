@@ -8,7 +8,7 @@ layers that can fail:
   :meth:`maybe_disk_error` when one completes;
 * the **bufferpool** has frames reserved/released on a simulated-time
   schedule for every pool-pressure window;
-* the **scan sharing manager** gets its ``invariant_hook`` pointed at an
+* the **scan sharing policy** gets its ``invariant_hook`` pointed at an
   :class:`~repro.faults.invariants.InvariantChecker`, and scan operators
   poll :meth:`maybe_kill_scan` once per page so kill clauses can strike
   at exact positions.
@@ -44,7 +44,7 @@ from repro.trace.tracer import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.buffer.pool import BufferPool
-    from repro.core.manager import ScanSharingManager
+    from repro.core.policy import SharingPolicy
     from repro.disk.device import Disk, DiskRequest
 
 
@@ -113,7 +113,7 @@ class FaultInjector:
         self,
         disk: Optional[object] = None,
         pool: Optional["BufferPool"] = None,
-        manager: Optional["ScanSharingManager"] = None,
+        manager: Optional["SharingPolicy"] = None,
     ) -> None:
         """Hook the injector into the components it targets."""
         if disk is not None:
@@ -226,7 +226,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def maybe_kill_scan(
-        self, manager: "ScanSharingManager", scan_id: int, pages_scanned: int
+        self, manager: "SharingPolicy", scan_id: int, pages_scanned: int
     ) -> None:
         """Raise :class:`ScanKilled` if a kill clause targets this scan now.
 
@@ -257,7 +257,7 @@ class FaultInjector:
             raise ScanKilled(scan_id, pages_scanned)
 
     def _kill_matches(
-        self, manager: "ScanSharingManager", state, fault: ScanKillFault
+        self, manager: "SharingPolicy", state, fault: ScanKillFault
     ) -> bool:
         if fault.target == "any":
             return True

@@ -22,8 +22,20 @@ break:
 * **accounting identity** — ``logical = hits + misses + inflight_waits``
   on the bufferpool, fault or no fault.
 
-Violations raise :class:`InvariantViolation` so a chaos run fails loudly
-instead of producing quietly-wrong metrics.
+The group/anchor/priority invariants above are specific to the
+``grouping-throttling`` policy.  The rival policies carry their own
+structural invariants instead:
+
+* ``cooperative`` — every live attach edge connects two registered
+  scans (no ghost attach targets after an abort), and every release
+  priority is NORMAL (cooperative scans do not steer the pool);
+* ``pbm`` — the reuse-time map holds exactly the registered, unfinished
+  scans (a departed scan's predictions must not linger), and every
+  release priority is NORMAL.
+
+The accounting identity holds under every policy.  Violations raise
+:class:`InvariantViolation` so a chaos run fails loudly instead of
+producing quietly-wrong metrics.
 """
 
 from __future__ import annotations
@@ -36,7 +48,7 @@ from repro.trace.tracer import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.buffer.pool import BufferPool
-    from repro.core.manager import ScanSharingManager
+    from repro.core.policy import SharingPolicy
 
 
 class InvariantViolation(AssertionError):
@@ -44,11 +56,16 @@ class InvariantViolation(AssertionError):
 
 
 class InvariantChecker:
-    """Validates manager/pool invariants; raises on the first violation."""
+    """Validates manager/pool invariants; raises on the first violation.
+
+    The check set is selected by the manager's ``policy_name``, so the
+    same checker (and the same fault-injector hook) guards every
+    :class:`~repro.core.policy.SharingPolicy` implementation.
+    """
 
     def __init__(
         self,
-        manager: "ScanSharingManager",
+        manager: "SharingPolicy",
         pool: Optional["BufferPool"] = None,
     ):
         self.manager = manager
@@ -56,15 +73,23 @@ class InvariantChecker:
         self.checks_run = 0
 
     def run_checks(self, strict_order: bool = False) -> None:
-        """One full pass over all invariants.
+        """One full pass over the active policy's invariants.
 
         ``strict_order=True`` additionally validates the circular arc
-        ordering of every group — only valid immediately after a
-        regroup, before scans have drifted.
+        ordering of every group (grouping-throttling only) — only valid
+        immediately after a regroup, before scans have drifted.
         """
-        self._check_groups(strict_order)
-        self._check_anchors()
-        self._check_priorities()
+        policy = getattr(self.manager, "policy_name", "grouping-throttling")
+        if policy == "cooperative":
+            self._check_attach_edges()
+            self._check_flat_priorities()
+        elif policy == "pbm":
+            self._check_reuse_sources()
+            self._check_flat_priorities()
+        else:
+            self._check_groups(strict_order)
+            self._check_anchors()
+            self._check_priorities()
         self._check_accounting()
         self.checks_run += 1
         tracer = get_tracer()
@@ -73,7 +98,7 @@ class InvariantChecker:
             tracer.emit(InvariantChecked(
                 time=manager.sim.now,
                 n_scans=len(manager._states),
-                n_groups=len(manager._groups),
+                n_groups=len(getattr(manager, "_groups", ())),
                 strict_order=strict_order,
             ))
 
@@ -218,6 +243,62 @@ class InvariantChecker:
                 self._fail(
                     f"scan {state.scan_id} releases at priority {actual!r} "
                     f"but its group role implies {expected!r}"
+                )
+
+    def _check_attach_edges(self) -> None:
+        """Cooperative: live attach edges connect registered scans only."""
+        manager = self.manager
+        states = manager._states
+        for follower, target in manager.attach_edges().items():
+            if follower not in states:
+                self._fail(
+                    f"attach edge from unregistered scan {follower} "
+                    f"(to {target}) survived its owner's departure"
+                )
+            if target not in states:
+                self._fail(
+                    f"scan {follower} still attached to departed scan "
+                    f"{target} (ghost attach target)"
+                )
+
+    def _check_reuse_sources(self) -> None:
+        """PBM: the reuse-time map mirrors the registered scans exactly."""
+        manager = self.manager
+        states = manager._states
+        listed = set()
+        for space_id, scans in manager.reuse_sources().items():
+            if not scans:
+                self._fail(f"reuse-time map keeps empty space {space_id}")
+            for scan_id, state in scans.items():
+                registered = states.get(scan_id)
+                if registered is not state:
+                    self._fail(
+                        f"reuse-time map lists scan {scan_id} on space "
+                        f"{space_id} but it is not a registered scan "
+                        f"(stale prediction source)"
+                    )
+                if state.finished:
+                    self._fail(
+                        f"reuse-time map lists finished scan {scan_id} "
+                        f"on space {space_id}"
+                    )
+                listed.add(scan_id)
+        for scan_id in states:
+            if scan_id not in listed:
+                self._fail(
+                    f"registered scan {scan_id} is missing from the "
+                    f"reuse-time map (its pages would all predict inf)"
+                )
+
+    def _check_flat_priorities(self) -> None:
+        """Non-steering policies: every release priority is NORMAL."""
+        manager = self.manager
+        for scan_id in manager._states:
+            actual = manager.page_priority(scan_id)
+            if actual != Priority.NORMAL:
+                self._fail(
+                    f"scan {scan_id} releases at priority {actual!r} under "
+                    f"{manager.policy_name}, which never steers the pool"
                 )
 
     def _check_accounting(self) -> None:

@@ -83,6 +83,39 @@ def format_service_table(class_rows: Sequence[Mapping[str, object]]) -> str:
     return format_table(headers, rows)
 
 
+#: Column order for :func:`format_policy_table`; keys into each row.
+POLICY_COLUMNS = (
+    ("policy", "policy"),
+    ("makespan (s)", "makespan"),
+    ("pages read", "pages_read"),
+    ("seeks", "seeks"),
+    ("hit %", "hit_percent"),
+    ("throttle waits", "throttle_waits"),
+    ("joins", "scans_joined"),
+    ("e2e gain %", "end_to_end_gain_percent"),
+    ("read gain %", "disk_read_gain_percent"),
+)
+
+
+def format_policy_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render a sharing-policy comparison as an aligned table.
+
+    Each row is a mapping with the keys named in :data:`POLICY_COLUMNS`
+    (``PolicyRunResult.row()`` produces exactly this shape); missing or
+    ``None`` values render as ``-``, so a baseline row without gain
+    columns still lines up.
+    """
+    headers = [header for header, _ in POLICY_COLUMNS]
+    rendered = []
+    for row in rows:
+        cells: List[object] = []
+        for _, key in POLICY_COLUMNS:
+            value = row.get(key)
+            cells.append("-" if value is None else value)
+        rendered.append(cells)
+    return format_table(headers, rendered)
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Render an aligned monospace table."""
     columns = len(headers)

@@ -255,3 +255,53 @@ class TestRegrouping:
         manager.start_scan(full_scan_descriptor())
         groups = manager.groups()
         assert sum(g.size for g in groups) == 2
+
+
+class TestLastFinishedStaleness:
+    """The last-finished placement hint ages out under eviction pressure
+    (regression: late arrivals were placed behind long-cold positions)."""
+
+    def _finish_one_and_churn(self, manager, churn_pages):
+        first = manager.start_scan(full_scan_descriptor())
+        manager.update_location(first.scan_id, 512)
+        manager.end_scan(first.scan_id)
+        assert manager.last_finished_position("t") == 511
+        churn = manager.start_scan(full_scan_descriptor())
+        manager.update_location(churn.scan_id, churn_pages)
+        # Aborting leaves no mark of its own, so the churn scan is pure
+        # intervening traffic from the hint's point of view.
+        manager.abort_scan(churn.scan_id)
+
+    def test_widely_spaced_arrival_ignores_cold_mark(self):
+        # Default retention: 64 pool turnovers x 200 frames = 12800 pages.
+        _, manager = make_manager(pool=200)
+        self._finish_one_and_churn(manager, churn_pages=13_000)
+        assert manager.last_finished_position("t") is None
+        late = manager.start_scan(full_scan_descriptor())
+        assert late.start_page == 0
+
+    def test_closely_spaced_arrival_still_joins(self):
+        _, manager = make_manager(pool=200)
+        self._finish_one_and_churn(manager, churn_pages=1_000)
+        assert manager.last_finished_position("t") == 511
+        joined_before = manager.stats.scans_joined_last_finished
+        late = manager.start_scan(full_scan_descriptor())
+        assert late.start_page > 0
+        assert manager.stats.scans_joined_last_finished == joined_before + 1
+
+    def test_retention_wraps_is_configurable(self):
+        config = SharingConfig(last_finished_retention_wraps=1.0)
+        _, manager = make_manager(config=config, pool=200)
+        # One pool turnover (200 pages) of churn is enough to evict now.
+        self._finish_one_and_churn(manager, churn_pages=250)
+        assert manager.last_finished_position("t") is None
+
+    def test_idle_gap_alone_keeps_mark_warm(self):
+        """With zero intervening traffic nothing evicts the leftovers, so
+        an arbitrarily late arrival may still sweep them up."""
+        sim, manager = make_manager(pool=200)
+        first = manager.start_scan(full_scan_descriptor())
+        manager.update_location(first.scan_id, 512)
+        manager.end_scan(first.scan_id)
+        sim._now = 1e6  # a very long quiet gap
+        assert manager.last_finished_position("t") == 511

@@ -241,3 +241,59 @@ if HAVE_HYPOTHESIS:
                 leftover_pages=16,
             )
             assert 0 <= decision.start_page <= 999
+
+
+class TestEstimateOverflowEdges:
+    """Division/overflow edges of expected_shared_pages (bugfix)."""
+
+    def test_overscanned_candidate_scores_zero_not_negative(self):
+        # A candidate that wrapped past its declared range has negative
+        # remaining_pages; the estimate must clamp to 0.0, not go negative.
+        runaway = ongoing(0, position=100, scanned=1500)
+        assert expected_shared_pages(desc(), runaway) == 0.0
+
+    def test_infinite_candidate_speed_scores_zero(self):
+        stalled = ongoing(0, position=100)
+        stalled.speed = float("inf")
+        assert expected_shared_pages(desc(), stalled) == 0.0
+
+    def test_both_speeds_infinite_scores_zero_not_nan(self):
+        # inf/inf would be NaN; the estimate must short-circuit to 0.0.
+        candidate = ongoing(0, position=100, speed=float("inf"))
+        score = expected_shared_pages(desc(speed=float("inf")), candidate)
+        assert score == 0.0
+
+    def test_nan_candidate_speed_scores_zero(self):
+        poisoned = ongoing(0, position=100)
+        poisoned.speed = float("nan")
+        assert expected_shared_pages(desc(), poisoned) == 0.0
+
+
+class TestSubExtentTableGuard:
+    """choose_start guard for tables smaller than one extent (bugfix)."""
+
+    def test_join_lands_on_exact_position(self):
+        new = desc(first=0, last=7)
+        candidate = ongoing(0, position=5, first=0, last=7)
+        decision = choose_start(
+            new, [candidate], SharingConfig(min_share_pages=1),
+            extent_size=16, table_pages=8,
+        )
+        assert decision.joined_scan_id == 0
+        # Alignment would snap 5 back to page 0, silently defeating
+        # placement; the guard keeps the exact attach position.
+        assert decision.start_page == 5
+
+    def test_normal_tables_still_extent_aligned(self):
+        decision = choose_start(
+            desc(), [ongoing(0, position=200)], SharingConfig(),
+            extent_size=16, table_pages=1000,
+        )
+        assert decision.start_page == 192
+
+    def test_unknown_table_pages_preserves_old_alignment(self):
+        decision = choose_start(
+            desc(), [ongoing(0, position=200)], SharingConfig(),
+            extent_size=16,
+        )
+        assert decision.start_page == 192
