@@ -21,7 +21,16 @@ Two properties matter for reproducing the paper's numbers:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.buffer.page import Frame, PageKey, Priority
 from repro.buffer.replacement import ReplacementPolicy, make_policy
@@ -282,6 +291,88 @@ class BufferPool:
         if frame is None or not frame.pinned:
             raise BufferPoolError(f"mark_dirty requires a pinned resident page, got {key}")
         frame.dirty = True
+
+    # ------------------------------------------------------------------
+    # Push path (leader-driven prefetch pipeline)
+    # ------------------------------------------------------------------
+
+    def push_read(self, keys: Sequence[PageKey]) -> "Tuple[Optional[Event], str]":
+        """Asynchronously read the absent pages of a pushed extent.
+
+        The push pipeline's entry point: a plain call (no generator — the
+        driving scan never blocks on it) that issues one disk read per
+        address-contiguous run of absent pages and admits them exactly
+        like a demand prefetch.  None of the fix classification counters
+        move — pushed pages surface later as ``hits`` or
+        ``inflight_waits`` of the consuming scans, so the accounting
+        identity ``logical = hits + misses + inflight_waits`` is
+        untouched and nothing is double-counted.
+
+        Room is made by evicting *clean, unpinned* victims only (a push
+        must never block on a dirty writeback); when even that cannot fit
+        the extent, the push is dropped — consumers simply fall back to
+        demand fetching.
+
+        Returns ``(completion, outcome)``: ``("issued", event)`` waits on
+        every read issued here, ``(None, "resident")`` means the whole
+        extent is already resident or in flight, ``(None, "no_room")``
+        means the push was dropped.
+        """
+        segments = self._absent_segments(keys)
+        if not segments:
+            return None, "resident"
+        needed = sum(len(segment) for segment in segments)
+        room = self.capacity - self._reserved - len(self._frames) - len(self._inflight)
+        if needed > room:
+            room += self._evict_clean(needed - room)
+        kept: List[List[PageKey]] = []
+        for segment in segments:
+            if len(segment) <= room:
+                kept.append(segment)
+                room -= len(segment)
+        if not kept:
+            return None, "no_room"
+        stats = self.stats
+        completions: List[Event] = []
+        for segment in kept:
+            completion = Event(self.sim)
+            for run_key in segment:
+                self._inflight[run_key] = completion
+            stats.physical_requests += 1
+            stats.physical_pages_read += len(segment)
+            stats.pushed_requests += 1
+            stats.pushed_pages += len(segment)
+            read_done = self.disk.read(self.address_of(segment[0]), len(segment))
+            read_done.add_callback(
+                lambda _ev, seg=segment, comp=completion: self._admit_run(seg, comp)
+            )
+            completions.append(completion)
+        if len(completions) == 1:
+            return completions[0], "issued"
+        return self.sim.all_of(completions), "issued"
+
+    def _evict_clean(self, count: int) -> int:
+        """Synchronously evict up to ``count`` clean unpinned pages."""
+        freed = 0
+        tracer = _TRACER.active()
+        while freed < count:
+            victim_key = self.policy.choose_victim(self._evictable_clean)
+            if victim_key is None:
+                break
+            del self._frames[victim_key]
+            self.policy.on_evict(victim_key)
+            self.stats.evictions += 1
+            freed += 1
+            if tracer is not None:
+                tracer.emit(BufferEvict(
+                    time=self.sim.now, space_id=victim_key.space_id,
+                    page_no=victim_key.page_no, written_back=False,
+                ))
+        return freed
+
+    def _evictable_clean(self, key: PageKey) -> bool:
+        frame = self._frames.get(key)
+        return frame is not None and not frame.pinned and not frame.dirty
 
     # ------------------------------------------------------------------
     # Miss path

@@ -25,6 +25,10 @@ class BufferStats:
     physical_requests: int = 0
     physical_pages_read: int = 0
     prefetched_pages: int = 0
+    #: Subset of physical reads issued by the push pipeline (storage
+    #: pushes an extent once; consumers later hit or inflight-wait).
+    pushed_requests: int = 0
+    pushed_pages: int = 0
     evictions: int = 0
     writebacks: int = 0
 

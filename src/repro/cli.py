@@ -186,6 +186,15 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sharing-policy", default="grouping-throttling",
                         help="scan-sharing strategy: grouping-throttling, "
                              "cooperative, or pbm")
+    parser.add_argument("--device-count", type=int, default=1,
+                        help="striped spindles backing the tablespace "
+                             "(1 = single disk)")
+    parser.add_argument("--stripe-extents", type=int, default=None,
+                        help="stripe unit in prefetch extents (default: "
+                             "the page-granular SystemConfig stripe)")
+    parser.add_argument("--push", action="store_true",
+                        help="enable the leader-driven push prefetch "
+                             "pipeline (default: classic pull)")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="fault spec or builtin plan name (e.g. "
                              "'leader-abort' or 'disk-delay:factor=4')")
@@ -278,9 +287,22 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
             f"repro: error: unknown --sharing-policy {sharing_policy!r} "
             f"(known: {', '.join(SHARING_POLICY_NAMES)})"
         )
+    device_count = getattr(args, "device_count", 1)
+    if device_count < 1:
+        raise SystemExit(
+            f"repro: error: --device-count must be >= 1, got {device_count}"
+        )
+    stripe_extents = getattr(args, "stripe_extents", None)
+    if stripe_extents is not None and stripe_extents < 1:
+        raise SystemExit(
+            f"repro: error: --stripe-extents must be >= 1, got {stripe_extents}"
+        )
     return ExperimentSettings(
         scale=args.scale, n_streams=args.streams, seed=args.seed,
         policy=args.policy, sharing_policy=sharing_policy,
+        device_count=device_count,
+        stripe_extents=stripe_extents,
+        push_prefetch=bool(getattr(args, "push", False)),
         sharing_overrides=sharing_overrides,
         fault_spec=fault_spec,
     )

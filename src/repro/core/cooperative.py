@@ -96,6 +96,21 @@ class CooperativeScanManager(SharingPolicy):
         """Snapshot of live follower -> target attachments."""
         return dict(self._attached_to)
 
+    def push_consumer_set(self, scan_id: int) -> List[int]:
+        """The scan plus every follower currently attached to it."""
+        self._state(scan_id)
+        followers = sorted(
+            follower
+            for follower, target in self._attached_to.items()
+            if target == scan_id
+        )
+        return [scan_id] + followers
+
+    def is_push_driver(self, scan_id: int) -> bool:
+        """Unattached scans drive; attached followers ride the push."""
+        self._state(scan_id)
+        return scan_id not in self._attached_to
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

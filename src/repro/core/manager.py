@@ -194,6 +194,18 @@ class ScanSharingManager(SharingPolicy):
         """The group a registered scan currently belongs to, if any."""
         return self._group_of(self._state(scan_id))
 
+    def push_consumer_set(self, scan_id: int) -> List[int]:
+        """Every member of the scan's group consumes its pushed extents."""
+        group = self.group_of(scan_id)
+        if group is None:
+            return [scan_id]
+        return [member.scan_id for member in group.members]
+
+    def is_push_driver(self, scan_id: int) -> bool:
+        """The group leader drives the push; trailers never re-request."""
+        group = self.group_of(scan_id)
+        return group is None or group.leader.scan_id == scan_id
+
     def last_finished_position(self, table_name: str) -> Optional[int]:
         """Final position of the last scan that finished on a table.
 

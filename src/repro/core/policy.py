@@ -88,6 +88,10 @@ class SharingPolicy(ABC):
         # so the invariant checker sees each one.  None (the default)
         # costs one attribute test per change.
         self.invariant_hook: Optional[Callable[[], None]] = None
+        # The push prefetch pipeline, when the database enables it; the
+        # policy notifies it of every scan exit so consumer sets never
+        # outlive their scans.
+        self._push = None
 
     # ------------------------------------------------------------------
     # The policy interface (what scans and the harness call)
@@ -143,6 +147,38 @@ class SharingPolicy(ABC):
     def last_finished_position(self, table_name: str) -> Optional[int]:
         """Final position of the last finished scan (placement policies)."""
         return None
+
+    # ------------------------------------------------------------------
+    # Push pipeline hooks (defaults: every scan drives its own push)
+    # ------------------------------------------------------------------
+
+    def bind_push(self, pipeline) -> None:
+        """Wire the push prefetch pipeline in (called by Database.open)."""
+        self._push = pipeline
+
+    @property
+    def push_pipeline(self):
+        """The bound push pipeline, or None when push is disabled."""
+        return self._push
+
+    def push_consumer_set(self, scan_id: int) -> List[int]:
+        """Scan ids to register as consumers of extents this scan pushes.
+
+        Grouping policies return the whole group; cooperative returns
+        the scan plus its attached followers.  The default — a set of
+        one — turns the pipeline into plain per-scan read-ahead.
+        """
+        self._state(scan_id)  # preserve the unknown-scan error contract
+        return [scan_id]
+
+    def is_push_driver(self, scan_id: int) -> bool:
+        """Whether this scan issues pushes for its consumer set.
+
+        Exactly one member of every consumer set answers True (the group
+        leader / attach target); the rest consume without re-requesting.
+        """
+        self._state(scan_id)
+        return True
 
     # ------------------------------------------------------------------
     # Shared bookkeeping for concrete policies
@@ -201,6 +237,8 @@ class SharingPolicy(ABC):
         state = self._state(scan_id)
         state.finished = True
         del self._states[scan_id]
+        if self._push is not None:
+            self._push.scan_ended(scan_id, aborted)
         tracer = get_tracer()
         if aborted:
             self.stats.scans_aborted += 1

@@ -15,17 +15,28 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.disk.device import Disk
-from repro.disk.geometry import DiskGeometry
+from repro.disk.geometry import DiskGeometry, StripeMap
+from repro.disk.stats import DiskStats
 from repro.sim.events import Event, SimulationError
 from repro.sim.kernel import Simulator
 from repro.sim.timeline import StepTimeline
 
 
 class ArrayStats:
-    """Aggregated statistics over the member disks (read-only view)."""
+    """Aggregated statistics over the member disks (read-only view).
+
+    The aggregate properties sum over every spindle; :attr:`per_device`
+    exposes the individual :class:`~repro.disk.stats.DiskStats` buckets
+    so ``bench`` and ``run`` tables can report both views.
+    """
 
     def __init__(self, disks: List[Disk]):
         self._disks = disks
+
+    @property
+    def per_device(self) -> List[DiskStats]:
+        """One stats bucket per member spindle, in device order."""
+        return [disk.stats for disk in self._disks]
 
     @property
     def reads(self) -> int:
@@ -80,14 +91,10 @@ class ArrayStats:
 
     def pages_read_per_bucket(self, until: float, bucket: float) -> List[float]:
         """Pages read per time bucket across all spindles."""
-        from repro.disk.stats import DiskStats
-
         return DiskStats().bucket_trace(self.read_trace, until, bucket)
 
     def seeks_per_bucket(self, until: float, bucket: float) -> List[float]:
         """Seeks per time bucket across all spindles."""
-        from repro.disk.stats import DiskStats
-
         return DiskStats().bucket_trace(self.seek_trace, until, bucket)
 
 
@@ -101,17 +108,30 @@ class DiskArray:
         geometry: Optional[DiskGeometry] = None,
         stripe_pages: int = 64,
         scheduler: str = "fifo",
+        stripe_map: Optional[StripeMap] = None,
     ):
         if n_disks < 1:
             raise SimulationError(f"need at least one disk, got {n_disks}")
         if stripe_pages < 1:
             raise SimulationError(f"stripe_pages must be >= 1, got {stripe_pages}")
+        if stripe_map is not None and (
+            stripe_map.n_devices != n_disks or stripe_map.stripe_pages != stripe_pages
+        ):
+            raise SimulationError(
+                f"stripe_map ({stripe_map.n_devices} devices x "
+                f"{stripe_map.stripe_pages} pages) disagrees with array "
+                f"({n_disks} devices x {stripe_pages} pages)"
+            )
         self.sim = sim
         self.geometry = geometry or DiskGeometry()
         self.n_disks = n_disks
         self.stripe_pages = stripe_pages
+        self.stripe_map = stripe_map or StripeMap(
+            n_devices=n_disks, stripe_pages=stripe_pages
+        )
         self.disks = [
-            Disk(sim, self.geometry, scheduler=scheduler) for _ in range(n_disks)
+            Disk(sim, self.geometry, scheduler=scheduler, device_index=index)
+            for index in range(n_disks)
         ]
         self.stats = ArrayStats(self.disks)
         self.outstanding_timeline = StepTimeline(initial=0)
@@ -119,11 +139,7 @@ class DiskArray:
 
     def locate(self, page: int) -> Tuple[int, int]:
         """(disk index, local page address) for a global page address."""
-        stripe = page // self.stripe_pages
-        offset = page % self.stripe_pages
-        disk_index = stripe % self.n_disks
-        local_stripe = stripe // self.n_disks
-        return disk_index, local_stripe * self.stripe_pages + offset
+        return self.stripe_map.locate(page)
 
     def read(self, start_page: int, n_pages: int) -> Event:
         """Read a contiguous global range; completes when all stripes do."""
@@ -140,9 +156,8 @@ class DiskArray:
         page = start_page
         remaining = n_pages
         while remaining > 0:
-            disk_index, local_page = self.locate(page)
-            in_stripe = self.stripe_pages - (page % self.stripe_pages)
-            chunk = min(remaining, in_stripe)
+            disk_index, local_page = self.stripe_map.locate(page)
+            chunk = self.stripe_map.run_on_device(page, remaining)
             disk = self.disks[disk_index]
             if is_write:
                 sub_events.append(disk.write(local_page, chunk))

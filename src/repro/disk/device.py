@@ -71,7 +71,8 @@ class Disk:
     DEFAULT_AGING_LIMIT = 512
 
     def __init__(self, sim: Simulator, geometry: Optional[DiskGeometry] = None,
-                 scheduler: str = "fifo", aging_limit: Optional[int] = None):
+                 scheduler: str = "fifo", aging_limit: Optional[int] = None,
+                 device_index: int = 0):
         if scheduler not in _SCHEDULERS:
             raise SimulationError(
                 f"unknown disk scheduler {scheduler!r}; known: {_SCHEDULERS}"
@@ -81,6 +82,9 @@ class Disk:
                 f"aging_limit must be >= 1, got {aging_limit}"
             )
         self.sim = sim
+        # Position of this spindle within its array (0 for a lone disk);
+        # fault clauses with a ``device=`` option match against it.
+        self.device_index = device_index
         self.geometry = geometry or DiskGeometry()
         self.scheduler = scheduler
         self.aging_limit = (

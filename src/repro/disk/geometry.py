@@ -79,3 +79,80 @@ class DiskGeometry:
         """Whether a request at ``next_start_page`` avoids a seek."""
         gap = next_start_page - last_end_page
         return 0 <= gap <= self.sequential_gap_pages
+
+
+@dataclass(frozen=True)
+class StripeMap:
+    """Deterministic mapping of the global page space onto N devices.
+
+    The address space is cut into fixed-size stripe units of
+    ``stripe_pages`` pages and dealt round-robin across ``n_devices``:
+    stripe *s* lives on device ``s % n_devices`` at local stripe index
+    ``s // n_devices``.  The map is a pure function of its two fields,
+    so two maps built from the same :class:`~repro.engine.database.\
+SystemConfig` assign every extent to the same device (re-opening a
+    database never migrates data), and the assignment is a total
+    partition: every global page has exactly one ``(device, local)``
+    home and :meth:`global_of` inverts :meth:`locate` exactly.
+
+    With ``stripe_pages`` equal to one prefetch extent the per-device
+    extent loads are balanced within ±1 extent for any table size; wider
+    stripes trade balance (±``stripe_pages/extent`` extents) for longer
+    sequential runs per device.
+    """
+
+    n_devices: int
+    stripe_pages: int
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ValueError(f"n_devices must be >= 1, got {self.n_devices}")
+        if self.stripe_pages < 1:
+            raise ValueError(
+                f"stripe_pages must be >= 1, got {self.stripe_pages}"
+            )
+
+    def locate(self, page: int) -> "tuple[int, int]":
+        """``(device index, local page address)`` for a global page."""
+        if page < 0:
+            raise ValueError(f"page addresses are non-negative, got {page}")
+        stripe, offset = divmod(page, self.stripe_pages)
+        device, local_stripe = stripe % self.n_devices, stripe // self.n_devices
+        return device, local_stripe * self.stripe_pages + offset
+
+    def global_of(self, device: int, local_page: int) -> int:
+        """The global page address of a device-local address (inverse)."""
+        if not 0 <= device < self.n_devices:
+            raise ValueError(
+                f"device must be in [0, {self.n_devices}), got {device}"
+            )
+        if local_page < 0:
+            raise ValueError(
+                f"local addresses are non-negative, got {local_page}"
+            )
+        local_stripe, offset = divmod(local_page, self.stripe_pages)
+        stripe = local_stripe * self.n_devices + device
+        return stripe * self.stripe_pages + offset
+
+    def device_of(self, page: int) -> int:
+        """The device a global page lives on."""
+        return self.locate(page)[0]
+
+    def run_on_device(self, start_page: int, n_pages: int) -> int:
+        """Pages of ``[start_page, start_page + n_pages)`` that stay on
+        ``start_page``'s device before crossing a stripe boundary."""
+        in_stripe = self.stripe_pages - (start_page % self.stripe_pages)
+        return min(n_pages, in_stripe)
+
+    def device_loads(self, total_pages: int) -> "list[int]":
+        """Pages assigned to each device over ``[0, total_pages)``."""
+        loads = [0] * self.n_devices
+        full_stripes, tail = divmod(total_pages, self.stripe_pages)
+        per_device, extra = divmod(full_stripes, self.n_devices)
+        for device in range(self.n_devices):
+            loads[device] = per_device * self.stripe_pages
+            if device < extra:
+                loads[device] += self.stripe_pages
+        if tail:
+            loads[full_stripes % self.n_devices] += tail
+        return loads

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.buffer.pool import BufferPool
+from repro.buffer.push import PushPipeline
 from repro.buffer.replacement import make_policy
 from repro.buffer.replacement.pbm import PbmPolicy
 from repro.core.config import SharingConfig
@@ -52,6 +53,15 @@ class SystemConfig:
     #: Number of striped spindles; 1 = single disk (the default model).
     n_disks: int = 1
     disk_stripe_pages: int = 64
+    #: Stripe unit measured in prefetch extents; when set it overrides
+    #: ``disk_stripe_pages`` (as ``stripe_extents * extent_size``) so one
+    #: pushed extent always lands on exactly one device.
+    stripe_extents: Optional[int] = None
+    #: Leader-driven push prefetch pipeline.  Off by default: the classic
+    #: pull model, byte-identical to a build without the pipeline.
+    push_enabled: bool = False
+    #: Extents kept in flight ahead of each driving scan (0 = auto).
+    push_depth: int = 0
     geometry: DiskGeometry = field(default_factory=DiskGeometry)
     sharing: SharingConfig = field(default_factory=SharingConfig)
     cost: CostModel = field(default_factory=CostModel)
@@ -84,6 +94,12 @@ class SystemConfig:
             raise ValueError(
                 f"disk_stripe_pages must be >= 1, got {self.disk_stripe_pages}"
             )
+        if self.stripe_extents is not None and self.stripe_extents < 1:
+            raise ValueError(
+                f"stripe_extents must be >= 1, got {self.stripe_extents}"
+            )
+        if self.push_depth < 0:
+            raise ValueError(f"push_depth must be >= 0, got {self.push_depth}")
         if self.sharing_policy not in SHARING_POLICY_NAMES:
             raise ValueError(
                 f"unknown sharing policy {self.sharing_policy!r}; "
@@ -106,11 +122,14 @@ class Database:
         self.config = config or SystemConfig()
         self.sim = Simulator()
         if self.config.n_disks > 1:
+            stripe_pages = self.config.disk_stripe_pages
+            if self.config.stripe_extents is not None:
+                stripe_pages = self.config.stripe_extents * self.config.extent_size
             self.disk = DiskArray(
                 self.sim,
                 n_disks=self.config.n_disks,
                 geometry=self.config.geometry,
-                stripe_pages=self.config.disk_stripe_pages,
+                stripe_pages=stripe_pages,
                 scheduler=self.config.disk_scheduler,
             )
         else:
@@ -123,6 +142,7 @@ class Database:
         self.cost = self.config.cost
         self._pool: Optional[BufferPool] = None
         self._sharing: Optional[SharingPolicy] = None
+        self._push: Optional[PushPipeline] = None
         self.faults: Optional[FaultInjector] = None
         self._block_indexes: dict = {}
         self._index_managers: dict = {}
@@ -179,6 +199,14 @@ class Database:
             address_of=self.catalog.address_of,
             policy=pool_policy,
         )
+        if self.config.push_enabled:
+            self._push = PushPipeline(
+                self.sim,
+                self._pool,
+                self.catalog,
+                self._sharing,
+                depth=self.config.push_depth,
+            )
         if self.config.fault_plan is not None:
             self.faults = FaultInjector(self.sim, self.config.fault_plan)
             self.faults.attach(
@@ -204,6 +232,11 @@ class Database:
         if self._sharing is None:
             raise RuntimeError("database not open; call Database.open() first")
         return self._sharing
+
+    @property
+    def push(self) -> Optional[PushPipeline]:
+        """The push prefetch pipeline, or None when disabled/not open."""
+        return self._push
 
     @property
     def sharing_enabled(self) -> bool:

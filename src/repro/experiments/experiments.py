@@ -611,7 +611,7 @@ def ablation_disk_array(
     settings = settings or ExperimentSettings()
     out: Dict[int, Comparison] = {}
     for n_disks in disk_counts:
-        out[n_disks] = compare_modes(settings.with_(n_disks=n_disks))
+        out[n_disks] = compare_modes(settings.with_(device_count=n_disks))
     return out
 
 

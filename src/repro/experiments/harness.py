@@ -37,7 +37,16 @@ class ExperimentSettings:
     #: cache key, and sweepable via ``repro sweep --param sharing_policy``.
     sharing_policy: str = "grouping-throttling"
     disk_scheduler: str = "fifo"
-    n_disks: int = 1
+    #: Striped spindles backing the tablespace (1 = the single-disk
+    #: model).  Part of every cache key and sweepable via
+    #: ``repro sweep --param device_count``.
+    device_count: int = 1
+    #: Stripe unit in prefetch extents (None keeps the page-granular
+    #: default of SystemConfig.disk_stripe_pages).
+    stripe_extents: Optional[int] = None
+    #: Leader-driven push prefetch pipeline (see
+    #: :mod:`repro.buffer.push`); off = classic pull.
+    push_prefetch: bool = False
     pool_fraction: float = 0.05
     #: Explicit pool size in pages; overrides pool_fraction (and the
     #: config's minimum-pool floor) when set.
@@ -160,7 +169,9 @@ def build_database(
         policy=settings.policy,
         sharing_policy=settings.sharing_policy,
         disk_scheduler=settings.disk_scheduler,
-        n_disks=settings.n_disks,
+        n_disks=settings.device_count,
+        stripe_extents=settings.stripe_extents,
+        push_enabled=settings.push_prefetch,
         sharing=sharing,
         seed=settings.seed,
         fault_plan=settings.fault_plan(),

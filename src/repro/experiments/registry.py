@@ -48,6 +48,12 @@ from repro.experiments.policies import (
     pl_head2head,
     pl_mix,
 )
+from repro.experiments.striped import (
+    StripedPushResult,
+    StripedScalingResult,
+    st_push,
+    st_scaling,
+)
 from repro.metrics.report import format_table
 from repro.service.metrics import ServiceComparison, ServiceResult
 from repro.service.scenarios import sv_burst, sv_overload, sv_soak, sv_steady
@@ -137,6 +143,11 @@ register("sv-overload",
          "service: overload backpressure, controller on vs off", sv_overload)
 register("sv-burst", "service: bursty MMPP arrivals", sv_burst)
 register("sv-soak", "service: long mixed soak (chaos-ready)", sv_soak)
+register("st-push",
+         "striped: pull vs push prefetch pipeline at --device-count",
+         st_push)
+register("st-scaling",
+         "striped: push-pipeline throughput over 1/2/4 devices", st_scaling)
 
 
 # ----------------------------------------------------------------------
@@ -219,6 +230,8 @@ def metrics_of(result: Any) -> Dict[str, Any]:
             ],
         }
     if isinstance(result, (PolicyMixResult, PolicyComparisonResult)):
+        return result.metrics()
+    if isinstance(result, (StripedPushResult, StripedScalingResult)):
         return result.metrics()
     if isinstance(result, Comparison):
         return comparison_metrics(result)

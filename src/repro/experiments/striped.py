@@ -1,0 +1,245 @@
+"""`st-*` experiments: striped storage and the push prefetch pipeline.
+
+Two questions the single-disk experiments cannot answer:
+
+* **st-push** — at a fixed device count, what does switching the shared
+  workload from the classic pull model to the leader-driven push
+  pipeline buy?  (One fetch per extent fanned out to the whole consumer
+  set, no trailer re-requests.)
+* **st-scaling** — with the push pipeline on, does multi-stream
+  throughput actually scale as the address space is striped over more
+  devices?  (The paper's testbeds were arrays; the reproduction was a
+  single arm until now.)
+
+Both report per-device request/seek/busy tables next to the aggregate,
+exercising the :class:`~repro.disk.array.ArrayStats` per-device split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.config import SharingConfig
+from repro.experiments.harness import ExperimentSettings, build_database
+from repro.engine.executor import run_workload
+from repro.metrics.report import format_table, percent_gain
+from repro.workloads.streams import tpch_streams
+
+
+def per_device_stats(db) -> List[Dict[str, Any]]:
+    """One row per spindle: requests, pages, seeks, busy time.
+
+    A single :class:`~repro.disk.device.Disk` yields one row, so callers
+    never special-case the device count.
+    """
+    disks = getattr(db.disk, "disks", None) or [db.disk]
+    return [
+        {
+            "device": disk.device_index,
+            "reads": disk.stats.reads,
+            "pages_read": disk.stats.pages_read,
+            "seeks": disk.stats.seeks,
+            "busy_time": disk.stats.busy_time,
+        }
+        for disk in disks
+    ]
+
+
+@dataclass
+class StripedMode:
+    """Everything measured for one mode of a striped experiment."""
+
+    label: str
+    device_count: int
+    makespan: float
+    queries: int
+    pages_read: int
+    seeks: int
+    buffer_hit_ratio: float
+    pushed_pages: int
+    push_deliveries: int
+    per_device: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries finished per simulated second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.queries / self.makespan
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "makespan": self.makespan,
+            "throughput_qps": self.throughput_qps,
+            "pages_read": self.pages_read,
+            "seeks": self.seeks,
+            "buffer_hit_ratio": self.buffer_hit_ratio,
+            "pushed_pages": self.pushed_pages,
+            "push_deliveries": self.push_deliveries,
+            "per_device": [dict(row) for row in self.per_device],
+        }
+
+
+def _run_striped_mode(
+    settings: ExperimentSettings, sharing: SharingConfig, label: str
+) -> StripedMode:
+    """Run the standard multi-stream workload and keep device detail."""
+    if sharing.enabled:
+        sharing = settings.apply_sharing_overrides(sharing)
+    db = build_database(settings, sharing)
+    streams = tpch_streams(
+        settings.n_streams,
+        seed=settings.seed,
+        query_names=list(settings.query_names) if settings.query_names else None,
+    )
+    workload = run_workload(db, streams, stagger=settings.stagger)
+    push = db.push
+    return StripedMode(
+        label=label,
+        device_count=settings.device_count,
+        makespan=workload.makespan,
+        queries=sum(len(stream) for stream in streams),
+        pages_read=workload.pages_read,
+        seeks=workload.seeks,
+        buffer_hit_ratio=workload.buffer_hit_ratio,
+        pushed_pages=db.pool.stats.pushed_pages,
+        push_deliveries=push.stats.deliveries if push is not None else 0,
+        per_device=per_device_stats(db),
+    )
+
+
+def _device_table(modes: Sequence[StripedMode]) -> str:
+    rows = []
+    for mode in modes:
+        for entry in mode.per_device:
+            rows.append([
+                mode.label, entry["device"], entry["reads"],
+                entry["pages_read"], entry["seeks"],
+                f"{entry['busy_time']:.3f}",
+            ])
+    return format_table(
+        ["mode", "device", "requests", "pages", "seeks", "busy (s)"], rows
+    )
+
+
+@dataclass
+class StripedPushResult:
+    """st-push: the same shared workload, pull vs push, one device count."""
+
+    pull: StripedMode
+    push: StripedMode
+
+    @property
+    def end_to_end_gain(self) -> float:
+        return percent_gain(self.pull.makespan, self.push.makespan)
+
+    @property
+    def disk_read_gain(self) -> float:
+        return percent_gain(self.pull.pages_read, self.push.pages_read)
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "device_count": self.pull.device_count,
+            "pull": self.pull.metrics(),
+            "push": self.push.metrics(),
+            "end_to_end_gain_percent": self.end_to_end_gain,
+            "disk_read_gain_percent": self.disk_read_gain,
+        }
+
+    def render(self) -> str:
+        headline = format_table(
+            ["mode", "makespan (s)", "qps", "pages", "seeks", "hit ratio",
+             "pushed pages"],
+            [
+                [mode.label, mode.makespan, f"{mode.throughput_qps:.2f}",
+                 mode.pages_read, mode.seeks,
+                 f"{mode.buffer_hit_ratio:.3f}", mode.pushed_pages]
+                for mode in (self.pull, self.push)
+            ],
+        )
+        summary = (
+            f"push vs pull at {self.pull.device_count} device(s): "
+            f"{self.end_to_end_gain:+.1f} % end-to-end, "
+            f"{self.disk_read_gain:+.1f} % pages read"
+        )
+        return "\n".join([
+            headline, "", "Per-device load:",
+            _device_table((self.pull, self.push)), "", summary,
+        ])
+
+
+@dataclass
+class StripedScalingResult:
+    """st-scaling: push-pipeline throughput across device counts."""
+
+    points: Dict[int, StripedMode]
+
+    def speedup(self, device_count: int) -> float:
+        """Throughput relative to the smallest configured device count."""
+        baseline = self.points[min(self.points)]
+        if baseline.throughput_qps == 0:
+            return 0.0
+        return self.points[device_count].throughput_qps / baseline.throughput_qps
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            str(n): dict(self.points[n].metrics(), speedup=self.speedup(n))
+            for n in sorted(self.points)
+        }
+
+    def render(self) -> str:
+        rows = [
+            [n, self.points[n].makespan,
+             f"{self.points[n].throughput_qps:.2f}",
+             f"{self.speedup(n):.2f}x",
+             self.points[n].pages_read, self.points[n].seeks]
+            for n in sorted(self.points)
+        ]
+        table = format_table(
+            ["devices", "makespan (s)", "qps", "speedup", "pages", "seeks"],
+            rows,
+        )
+        return "\n".join([
+            table, "", "Per-device load:",
+            _device_table([self.points[n] for n in sorted(self.points)]),
+        ])
+
+
+def st_push(settings: Optional[ExperimentSettings] = None) -> StripedPushResult:
+    """ST-PUSH: pull vs push on the shared workload.
+
+    Respects ``--device-count``/``--stripe-extents``; the stripe unit
+    defaults to one prefetch extent so a pushed extent lands on exactly
+    one device.
+    """
+    settings = settings or ExperimentSettings()
+    if settings.stripe_extents is None:
+        settings = settings.with_(stripe_extents=1)
+    pull = _run_striped_mode(
+        settings.with_(push_prefetch=False), SharingConfig(enabled=True),
+        "SS pull",
+    )
+    push = _run_striped_mode(
+        settings.with_(push_prefetch=True), SharingConfig(enabled=True),
+        "SS push",
+    )
+    return StripedPushResult(pull=pull, push=push)
+
+
+def st_scaling(
+    settings: Optional[ExperimentSettings] = None,
+    device_counts: Sequence[int] = (1, 2, 4),
+) -> StripedScalingResult:
+    """ST-SCALING: push-pipeline throughput vs device count."""
+    settings = settings or ExperimentSettings()
+    if settings.stripe_extents is None:
+        settings = settings.with_(stripe_extents=1)
+    points: Dict[int, StripedMode] = {}
+    for count in device_counts:
+        points[count] = _run_striped_mode(
+            settings.with_(device_count=count, push_prefetch=True),
+            SharingConfig(enabled=True),
+            f"{count} device(s)",
+        )
+    return StripedScalingResult(points=points)

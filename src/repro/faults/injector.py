@@ -175,11 +175,16 @@ class FaultInjector:
     # ------------------------------------------------------------------
 
     def disk_service_time(self, disk: "Disk", service_time: float) -> float:
-        """Stretch a service time by every delay window active right now."""
+        """Stretch a service time by every delay window active right now.
+
+        Clauses with a ``device`` index only strike the matching spindle
+        of a striped array.
+        """
         factor = 1.0
         now = self.sim.now
+        device_index = disk.device_index
         for fault in self._delay_faults:
-            if fault.active_at(now):
+            if fault.active_at(now) and fault.matches_device(device_index):
                 factor *= fault.factor
         if factor == 1.0:
             return service_time
@@ -204,8 +209,11 @@ class FaultInjector:
         always allowed through, so errors degrade but never wedge.
         """
         now = self.sim.now
+        device_index = disk.device_index
         for fault in self._error_faults:
             if not fault.active_at(now) or request.retries >= fault.max_retries:
+                continue
+            if not fault.matches_device(device_index):
                 continue
             if self._rng.random() >= fault.rate:
                 continue

@@ -33,6 +33,15 @@ structural invariants instead:
   scans (a departed scan's predictions must not linger), and every
   release priority is NORMAL.
 
+When the push prefetch pipeline is enabled two more properties hold
+under every policy:
+
+* **consumer-set liveness** — every scan registered as a consumer of a
+  pushed extent (pending or delivered) is a registered scan; no
+  consumer set survives ``abort_scan``;
+* **at-most-once delivery** — within one push generation, no consumer
+  receives an extent twice (``duplicate_deliveries`` stays 0).
+
 The accounting identity holds under every policy.  Violations raise
 :class:`InvariantViolation` so a chaos run fails loudly instead of
 producing quietly-wrong metrics.
@@ -90,6 +99,7 @@ class InvariantChecker:
             self._check_groups(strict_order)
             self._check_anchors()
             self._check_priorities()
+        self._check_push()
         self._check_accounting()
         self.checks_run += 1
         tracer = get_tracer()
@@ -300,6 +310,39 @@ class InvariantChecker:
                     f"scan {scan_id} releases at priority {actual!r} under "
                     f"{manager.policy_name}, which never steers the pool"
                 )
+
+    def _check_push(self) -> None:
+        """Push pipeline: live consumer sets, at-most-once delivery."""
+        pipeline = getattr(self.manager, "push_pipeline", None)
+        if pipeline is None:
+            return
+        states = self.manager._states
+        for key, consumers in pipeline.consumer_sets().items():
+            for scan_id in sorted(consumers):
+                if scan_id not in states:
+                    self._fail(
+                        f"push consumer set for extent {key} still lists "
+                        f"scan {scan_id}, which is no longer registered "
+                        f"(consumer set survived the scan's departure)"
+                    )
+        for key, delivered in pipeline.delivery_counts().items():
+            for scan_id, count in sorted(delivered.items()):
+                if scan_id not in states:
+                    self._fail(
+                        f"push delivery log for extent {key} still lists "
+                        f"departed scan {scan_id}"
+                    )
+                if count > 1:
+                    self._fail(
+                        f"extent {key} was delivered {count} times to scan "
+                        f"{scan_id} within one push generation"
+                    )
+        if pipeline.stats.duplicate_deliveries:
+            self._fail(
+                f"push pipeline recorded "
+                f"{pipeline.stats.duplicate_deliveries} duplicate deliveries "
+                f"(at-most-once per consumer per generation violated)"
+            )
 
     def _check_accounting(self) -> None:
         if self.pool is None:

@@ -10,9 +10,12 @@ runner's determinism guarantees.
 Spec grammar (clauses separated by ``;``, options by ``,``)::
 
     scan-kill[:target=leader,at=0.4,count=1,nth=0]
-    disk-delay[:factor=4.0,from=0.0,until=inf]
-    disk-error[:rate=0.05,from=0.0,until=inf,max_retries=4,backoff=0.002]
+    disk-delay[:factor=4.0,from=0.0,until=inf,device=-1]
+    disk-error[:rate=0.05,from=0.0,until=inf,max_retries=4,backoff=0.002,device=-1]
     pool-pressure[:fraction=0.5,from=0.0,until=inf]
+
+``device`` pins a disk clause to one spindle of a striped array
+(``device=-1``, the default, hits every device).
 
 Builtin aliases expand to tuned clauses: ``leader-abort``,
 ``trailer-abort``, ``disk-degrade``, ``disk-errors``, ``pool-pressure``.
@@ -74,12 +77,15 @@ class DiskDelayFault:
     Models a degrading device (vibration, remapped sectors, a busy
     neighbour on shared storage).  ``from``/``until`` bound the window in
     simulated seconds; ``until=inf`` degrades the device for the rest of
-    the run.
+    the run.  ``device`` restricts the fault to one spindle of a striped
+    array (-1, the default, degrades every device — and the lone disk of
+    a single-device system).
     """
 
     factor: float = 4.0
     start: float = 0.0
     until: float = math.inf
+    device: int = -1
 
     kind = "disk-delay"
 
@@ -93,10 +99,18 @@ class DiskDelayFault:
                 f"disk-delay window must satisfy 0 <= from <= until, got "
                 f"[{self.start}, {self.until}]"
             )
+        if self.device < -1:
+            raise FaultSpecError(
+                f"disk-delay device must be >= 0 (or -1 for all), got {self.device}"
+            )
 
     def active_at(self, now: float) -> bool:
         """Whether the window covers simulated time ``now``."""
         return self.start <= now < self.until
+
+    def matches_device(self, device_index: int) -> bool:
+        """Whether the clause applies to a given spindle."""
+        return self.device < 0 or self.device == device_index
 
 
 @dataclass(frozen=True)
@@ -114,6 +128,8 @@ class DiskErrorFault:
     until: float = math.inf
     max_retries: int = 4
     backoff: float = 0.002
+    #: Restrict the clause to one spindle of a striped array (-1 = all).
+    device: int = -1
 
     kind = "disk-error"
 
@@ -133,10 +149,18 @@ class DiskErrorFault:
             raise FaultSpecError(
                 f"disk-error backoff must be >= 0, got {self.backoff}"
             )
+        if self.device < -1:
+            raise FaultSpecError(
+                f"disk-error device must be >= 0 (or -1 for all), got {self.device}"
+            )
 
     def active_at(self, now: float) -> bool:
         """Whether the window covers simulated time ``now``."""
         return self.start <= now < self.until
+
+    def matches_device(self, device_index: int) -> bool:
+        """Whether the clause applies to a given spindle."""
+        return self.device < 0 or self.device == device_index
 
 
 @dataclass(frozen=True)

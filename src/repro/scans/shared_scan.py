@@ -85,6 +85,9 @@ class SharedTableScan:
         rows_per_page = table.schema.rows_per_page
         record_visits = self.record_visits
         faults = getattr(db, "faults", None)
+        push = getattr(db, "push", None)
+        first_page = self.first_page
+        last_page = self.last_page
         extent_no = -1
         extent_start = 0
         extent_keys: List = []
@@ -96,6 +99,13 @@ class SharedTableScan:
                     faults.maybe_kill_scan(manager, scan_id, pages_done)
                 if table.extent_of(page_no) != extent_no:
                     extent_no, extent_start, extent_keys = self._extent_keys(page_no)
+                    if push is not None:
+                        # Crossing an extent boundary announces the scan's
+                        # pipeline window; only the consumer set's driver
+                        # actually issues pushes.
+                        push.on_extent_entered(
+                            scan_id, table, extent_no, first_page, last_page
+                        )
                 key = extent_keys[page_no - extent_start]
                 frame = try_fix(key)
                 if frame is None:
