@@ -4,10 +4,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-quick bench-check bench-guards policy-smoke serve-quick serve-soak
+.PHONY: test test-fast bench bench-quick bench-check bench-guards bench-soak compiled test-compiled policy-smoke serve-quick serve-soak
 
 test:            ## full tier-1 suite
 	$(PYTHON) -m pytest -x -q
+
+compiled:        ## build the optional C event-queue backend in place
+	REPRO_BUILD_SPEEDUPS=1 $(PYTHON) setup.py build_ext --inplace
+
+test-compiled:   ## digest + bench gate on the compiled backend (build first)
+	REPRO_COMPILED=require $(PYTHON) -m repro run-all --jobs 4 --no-cache --out compiled-digests.json
+	$(PYTHON) -m pytest -x -q tests/test_compiled_backend.py
+	REPRO_COMPILED=require $(PYTHON) -m repro bench --quick --check BENCH_kernel.json
 
 test-fast:       ## everything not marked slow
 	$(PYTHON) -m pytest -x -q -m "not slow"
@@ -23,6 +31,9 @@ bench-check:     ## quick run gated against the committed baseline (CI gate)
 
 bench-guards:    ## pytest-level perf guards (fix-hit speedup, dispatch sanity)
 	$(PYTHON) -m pytest -x -q benchmarks/perf
+
+bench-soak:      ## soak-scale benchmark only (multi-device, multi-stream)
+	$(PYTHON) -m repro bench --only soak_multi_device
 
 policy-smoke:    ## three sharing policies on the quick staggered scenario, digest-checked
 	$(PYTHON) -m repro sweep e2 --param sharing_policy \

@@ -1,3 +1,29 @@
+"""Build script.
+
+The package is pure python by default.  The optional ``repro._speedups``
+extension (the compiled event-queue backend, see ``repro.sim.backend``)
+is only declared when explicitly requested — either via
+``REPRO_BUILD_SPEEDUPS=1`` or by invoking ``build_ext`` directly — so a
+plain ``pip install .`` never needs a C compiler.  The extension is
+marked optional: a failed compile degrades to the pure backend instead
+of failing the install.
+"""
+
+import os
+import sys
+
 from setuptools import setup
 
-setup()
+ext_modules = []
+if os.environ.get("REPRO_BUILD_SPEEDUPS") == "1" or "build_ext" in sys.argv:
+    from setuptools import Extension
+
+    ext_modules.append(
+        Extension(
+            "repro._speedups",
+            sources=["src/repro/_speedups.c"],
+            optional=True,
+        )
+    )
+
+setup(ext_modules=ext_modules)

@@ -1,0 +1,654 @@
+/* Compiled fast path for the simulation kernel's event queue.
+ *
+ * CEventQueue mirrors repro.sim.events.EventQueue exactly — the same
+ * two-lane design (ready slab of due-now callbacks + a (time, seq) binary
+ * heap for future times) with the heap held in parallel C arrays (double
+ * times, long long seqs, PyObject* callbacks) instead of tuple entries,
+ * and the whole Simulator.run drain loop implemented in C (see cq_run).
+ *
+ * Dispatch order is bit-for-bit identical to the pure-python queue; the
+ * golden-suite digest equality is enforced by tests/test_compiled_backend.py
+ * and the compiled CI lane.  Enable with REPRO_COMPILED=1 after building
+ * via `make compiled`.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <math.h>
+
+/* Resolved lazily from repro.sim.events / repro.trace.events. */
+static PyObject *SimulationErrorClass = NULL;
+static PyObject *SimDispatchClass = NULL;
+
+typedef struct {
+    PyObject_HEAD
+    /* Heap lane: parallel arrays ordered as a binary min-heap on
+     * (time, seq). */
+    double *times;
+    long long *seqs;
+    PyObject **cbs;
+    Py_ssize_t heap_len;
+    Py_ssize_t heap_cap;
+    /* Ready lane: ring buffer of callbacks due at exactly `time`. */
+    PyObject **ready;
+    Py_ssize_t ready_head;
+    Py_ssize_t ready_len;
+    Py_ssize_t ready_cap; /* power of two (0 until first use) */
+    long long seq;
+    double time; /* the queue's time cursor */
+} CEventQueue;
+
+static int
+load_simulation_error(void)
+{
+    if (SimulationErrorClass == NULL) {
+        PyObject *mod = PyImport_ImportModule("repro.sim.events");
+        if (mod == NULL)
+            return -1;
+        SimulationErrorClass = PyObject_GetAttrString(mod, "SimulationError");
+        Py_DECREF(mod);
+        if (SimulationErrorClass == NULL)
+            return -1;
+    }
+    return 0;
+}
+
+/* Matches the pure queue's "cannot schedule into the past" message,
+ * including repr-style float formatting. */
+static int
+raise_past_error(double time, double now)
+{
+    char *time_str, *now_str;
+
+    if (load_simulation_error() < 0)
+        return -1;
+    time_str = PyOS_double_to_string(time, 'r', 0, Py_DTSF_ADD_DOT_0, NULL);
+    if (time_str == NULL)
+        return -1;
+    now_str = PyOS_double_to_string(now, 'r', 0, Py_DTSF_ADD_DOT_0, NULL);
+    if (now_str == NULL) {
+        PyMem_Free(time_str);
+        return -1;
+    }
+    PyErr_Format(SimulationErrorClass,
+                 "cannot schedule into the past (time=%s, now=%s)",
+                 time_str, now_str);
+    PyMem_Free(time_str);
+    PyMem_Free(now_str);
+    return -1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Heap lane                                                           */
+/* ------------------------------------------------------------------ */
+
+static int
+heap_reserve(CEventQueue *q, Py_ssize_t need)
+{
+    Py_ssize_t cap;
+    double *times;
+    long long *seqs;
+    PyObject **cbs;
+
+    if (need <= q->heap_cap)
+        return 0;
+    cap = q->heap_cap ? q->heap_cap : 64;
+    while (cap < need)
+        cap *= 2;
+    times = PyMem_Realloc(q->times, (size_t)cap * sizeof(double));
+    if (times == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    q->times = times;
+    seqs = PyMem_Realloc(q->seqs, (size_t)cap * sizeof(long long));
+    if (seqs == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    q->seqs = seqs;
+    cbs = PyMem_Realloc(q->cbs, (size_t)cap * sizeof(PyObject *));
+    if (cbs == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    q->cbs = cbs;
+    q->heap_cap = cap;
+    return 0;
+}
+
+/* Insert (time, seq, cb) keeping the heap invariant; steals no reference
+ * (caller keeps ownership; we incref). */
+static int
+heap_push(CEventQueue *q, double time, PyObject *cb)
+{
+    Py_ssize_t pos, parent;
+    long long seq;
+
+    if (heap_reserve(q, q->heap_len + 1) < 0)
+        return -1;
+    seq = q->seq++;
+    pos = q->heap_len++;
+    while (pos > 0) {
+        parent = (pos - 1) >> 1;
+        /* Parent stays above us when it sorts strictly earlier; seq ties
+         * are impossible (seqs are unique). */
+        if (q->times[parent] < time ||
+            (q->times[parent] == time && q->seqs[parent] < seq))
+            break;
+        q->times[pos] = q->times[parent];
+        q->seqs[pos] = q->seqs[parent];
+        q->cbs[pos] = q->cbs[parent];
+        pos = parent;
+    }
+    q->times[pos] = time;
+    q->seqs[pos] = seq;
+    q->cbs[pos] = cb;
+    Py_INCREF(cb);
+    return 0;
+}
+
+/* Remove and return the root callback (ownership transferred to the
+ * caller); *time_out receives its time.  heap_len must be > 0. */
+static PyObject *
+heap_pop_root(CEventQueue *q, double *time_out)
+{
+    PyObject *root_cb = q->cbs[0];
+    double time, t;
+    long long s;
+    PyObject *cb;
+    Py_ssize_t pos, child, end;
+
+    *time_out = q->times[0];
+    end = --q->heap_len;
+    if (end == 0)
+        return root_cb;
+    /* Sink the last element from the root. */
+    time = q->times[end];
+    s = q->seqs[end];
+    cb = q->cbs[end];
+    pos = 0;
+    for (;;) {
+        child = 2 * pos + 1;
+        if (child >= end)
+            break;
+        if (child + 1 < end &&
+            (q->times[child + 1] < q->times[child] ||
+             (q->times[child + 1] == q->times[child] &&
+              q->seqs[child + 1] < q->seqs[child])))
+            child += 1;
+        if (time < q->times[child] ||
+            (time == q->times[child] && s < q->seqs[child]))
+            break;
+        q->times[pos] = q->times[child];
+        q->seqs[pos] = q->seqs[child];
+        q->cbs[pos] = q->cbs[child];
+        pos = child;
+    }
+    t = time;
+    q->times[pos] = t;
+    q->seqs[pos] = s;
+    q->cbs[pos] = cb;
+    return root_cb;
+}
+
+/* ------------------------------------------------------------------ */
+/* Ready lane                                                          */
+/* ------------------------------------------------------------------ */
+
+static int
+ready_push(CEventQueue *q, PyObject *cb)
+{
+    if (q->ready_len == q->ready_cap) {
+        Py_ssize_t cap = q->ready_cap ? q->ready_cap * 2 : 64;
+        PyObject **buf = PyMem_Malloc((size_t)cap * sizeof(PyObject *));
+        Py_ssize_t i;
+        if (buf == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        for (i = 0; i < q->ready_len; i++)
+            buf[i] = q->ready[(q->ready_head + i) & (q->ready_cap - 1)];
+        PyMem_Free(q->ready);
+        q->ready = buf;
+        q->ready_head = 0;
+        q->ready_cap = cap;
+    }
+    q->ready[(q->ready_head + q->ready_len) & (q->ready_cap - 1)] = cb;
+    Py_INCREF(cb);
+    q->ready_len++;
+    return 0;
+}
+
+/* Ownership transferred to the caller; ready_len must be > 0. */
+static PyObject *
+ready_pop(CEventQueue *q)
+{
+    PyObject *cb = q->ready[q->ready_head];
+    q->ready_head = (q->ready_head + 1) & (q->ready_cap - 1);
+    q->ready_len--;
+    return cb;
+}
+
+/* ------------------------------------------------------------------ */
+/* Type machinery                                                      */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+cq_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    CEventQueue *q = (CEventQueue *)type->tp_alloc(type, 0);
+    if (q == NULL)
+        return NULL;
+    q->times = NULL;
+    q->seqs = NULL;
+    q->cbs = NULL;
+    q->heap_len = 0;
+    q->heap_cap = 0;
+    q->ready = NULL;
+    q->ready_head = 0;
+    q->ready_len = 0;
+    q->ready_cap = 0;
+    q->seq = 0;
+    q->time = 0.0;
+    return (PyObject *)q;
+}
+
+static int
+cq_traverse(CEventQueue *q, visitproc visit, void *arg)
+{
+    Py_ssize_t i;
+    for (i = 0; i < q->heap_len; i++)
+        Py_VISIT(q->cbs[i]);
+    for (i = 0; i < q->ready_len; i++)
+        Py_VISIT(q->ready[(q->ready_head + i) & (q->ready_cap - 1)]);
+    return 0;
+}
+
+static int
+cq_clear(CEventQueue *q)
+{
+    Py_ssize_t i;
+    for (i = 0; i < q->heap_len; i++)
+        Py_CLEAR(q->cbs[i]);
+    q->heap_len = 0;
+    for (i = 0; i < q->ready_len; i++) {
+        Py_ssize_t slot = (q->ready_head + i) & (q->ready_cap - 1);
+        Py_CLEAR(q->ready[slot]);
+    }
+    q->ready_len = 0;
+    q->ready_head = 0;
+    return 0;
+}
+
+static void
+cq_dealloc(CEventQueue *q)
+{
+    PyObject_GC_UnTrack(q);
+    cq_clear(q);
+    PyMem_Free(q->times);
+    PyMem_Free(q->seqs);
+    PyMem_Free(q->cbs);
+    PyMem_Free(q->ready);
+    Py_TYPE(q)->tp_free((PyObject *)q);
+}
+
+static Py_ssize_t
+cq_len(CEventQueue *q)
+{
+    return q->heap_len + q->ready_len;
+}
+
+/* ------------------------------------------------------------------ */
+/* Queue API (mirrors the pure-python EventQueue)                      */
+/* ------------------------------------------------------------------ */
+
+/* Shared routing for push/push_many: -1 error, 0 ready lane, 1 heap. */
+static int
+route_time(CEventQueue *q, double time)
+{
+    if (time > q->time) {
+        if (isinf(time)) {
+            if (load_simulation_error() == 0)
+                PyErr_SetString(SimulationErrorClass,
+                                "cannot schedule at time=inf");
+            return -1;
+        }
+        return 1;
+    }
+    if (time == q->time)
+        return 0;
+    /* NaN falls through both comparisons above, same as the pure queue. */
+    return raise_past_error(time, q->time);
+}
+
+static PyObject *
+cq_push(CEventQueue *q, PyObject *args)
+{
+    double time;
+    PyObject *cb;
+    int lane;
+
+    if (!PyArg_ParseTuple(args, "dO:push", &time, &cb))
+        return NULL;
+    lane = route_time(q, time);
+    if (lane < 0)
+        return NULL;
+    if (lane == 1 ? heap_push(q, time, cb) : ready_push(q, cb))
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+cq_push_many(CEventQueue *q, PyObject *args)
+{
+    double time;
+    PyObject *callbacks, *iter, *cb;
+    int lane;
+
+    if (!PyArg_ParseTuple(args, "dO:push_many", &time, &callbacks))
+        return NULL;
+    lane = route_time(q, time);
+    if (lane < 0)
+        return NULL;
+    iter = PyObject_GetIter(callbacks);
+    if (iter == NULL)
+        return NULL;
+    while ((cb = PyIter_Next(iter)) != NULL) {
+        int failed = lane == 1 ? heap_push(q, time, cb) : ready_push(q, cb);
+        Py_DECREF(cb);
+        if (failed) {
+            Py_DECREF(iter);
+            return NULL;
+        }
+    }
+    Py_DECREF(iter);
+    if (PyErr_Occurred())
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+cq_peek_time(CEventQueue *q, PyObject *Py_UNUSED(ignored))
+{
+    if (q->ready_len && (q->heap_len == 0 || q->times[0] > q->time))
+        return PyFloat_FromDouble(q->time);
+    if (q->heap_len == 0)
+        Py_RETURN_NONE;
+    return PyFloat_FromDouble(q->times[0]);
+}
+
+static PyObject *
+cq_pop(CEventQueue *q, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *cb, *result;
+    double time;
+
+    if (q->ready_len && (q->heap_len == 0 || q->times[0] > q->time)) {
+        cb = ready_pop(q);
+        time = q->time;
+    } else {
+        if (q->heap_len == 0) {
+            PyErr_SetString(PyExc_IndexError, "pop from an empty queue");
+            return NULL;
+        }
+        cb = heap_pop_root(q, &time);
+        if (time > q->time)
+            q->time = time;
+    }
+    result = Py_BuildValue("(dN)", time, cb);
+    return result;
+}
+
+/* ------------------------------------------------------------------ */
+/* The drain loop                                                      */
+/* ------------------------------------------------------------------ */
+
+static int
+emit_dispatch(CEventQueue *q, PyObject *tracer_active, double now)
+{
+    PyObject *tracer, *kwargs, *empty, *event, *emitted;
+
+    tracer = PyObject_CallNoArgs(tracer_active);
+    if (tracer == NULL)
+        return -1;
+    if (tracer == Py_None) {
+        Py_DECREF(tracer);
+        return 0;
+    }
+    if (SimDispatchClass == NULL) {
+        PyObject *mod = PyImport_ImportModule("repro.trace.events");
+        if (mod == NULL) {
+            Py_DECREF(tracer);
+            return -1;
+        }
+        SimDispatchClass = PyObject_GetAttrString(mod, "SimDispatch");
+        Py_DECREF(mod);
+        if (SimDispatchClass == NULL) {
+            Py_DECREF(tracer);
+            return -1;
+        }
+    }
+    kwargs = Py_BuildValue("{s:d,s:n}", "time", now, "queue_len",
+                           q->heap_len + q->ready_len);
+    if (kwargs == NULL) {
+        Py_DECREF(tracer);
+        return -1;
+    }
+    empty = PyTuple_New(0);
+    if (empty == NULL) {
+        Py_DECREF(kwargs);
+        Py_DECREF(tracer);
+        return -1;
+    }
+    event = PyObject_Call(SimDispatchClass, empty, kwargs);
+    Py_DECREF(empty);
+    Py_DECREF(kwargs);
+    if (event == NULL) {
+        Py_DECREF(tracer);
+        return -1;
+    }
+    emitted = PyObject_CallMethod(tracer, "emit", "O", event);
+    Py_DECREF(event);
+    Py_DECREF(tracer);
+    if (emitted == NULL)
+        return -1;
+    Py_DECREF(emitted);
+    return 0;
+}
+
+static int
+set_sim_now(PyObject *sim, double now)
+{
+    PyObject *value = PyFloat_FromDouble(now);
+    int result;
+    if (value == NULL)
+        return -1;
+    result = PyObject_SetAttrString(sim, "_now", value);
+    Py_DECREF(value);
+    return result;
+}
+
+/* run(sim, until_or_None, tracer_active, sample) -> final time.
+ *
+ * The C twin of the batched pure-python Simulator.run loop: drain the
+ * ready slab, then all heap entries at the next timestamp (advancing
+ * sim._now and the cursor once per distinct time), until the queue is
+ * empty or the next heap time exceeds `until`.  The caller (Simulator.run)
+ * handles the until-already-in-the-past quirk and the final clock advance.
+ * The sampling countdown lives on the simulator (`_trace_countdown`), so
+ * it persists across run() calls exactly like the pure loop's.
+ */
+static PyObject *
+cq_run(CEventQueue *q, PyObject *args)
+{
+    PyObject *sim, *until_obj, *tracer_active;
+    long long sample;
+    int bounded;
+    double until = 0.0, now;
+    long long countdown;
+    PyObject *now_obj, *countdown_obj;
+
+    if (!PyArg_ParseTuple(args, "OOOL:run", &sim, &until_obj, &tracer_active,
+                          &sample))
+        return NULL;
+    bounded = until_obj != Py_None;
+    if (bounded) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    now_obj = PyObject_GetAttrString(sim, "_now");
+    if (now_obj == NULL)
+        return NULL;
+    now = PyFloat_AsDouble(now_obj);
+    Py_DECREF(now_obj);
+    if (now == -1.0 && PyErr_Occurred())
+        return NULL;
+    countdown_obj = PyObject_GetAttrString(sim, "_trace_countdown");
+    if (countdown_obj == NULL)
+        return NULL;
+    countdown = PyLong_AsLongLong(countdown_obj);
+    Py_DECREF(countdown_obj);
+    if (countdown == -1 && PyErr_Occurred())
+        return NULL;
+    for (;;) {
+        while (q->ready_len) {
+            PyObject *cb = ready_pop(q);
+            PyObject *res;
+            if (sample && --countdown <= 0) {
+                countdown = sample;
+                if (emit_dispatch(q, tracer_active, now) < 0) {
+                    Py_DECREF(cb);
+                    goto error;
+                }
+            }
+            res = PyObject_CallNoArgs(cb);
+            Py_DECREF(cb);
+            if (res == NULL)
+                goto error;
+            Py_DECREF(res);
+        }
+        if (q->heap_len == 0)
+            break;
+        {
+            double t = q->times[0];
+            if (bounded && t > until) {
+                now = until;
+                break;
+            }
+            now = t;
+            q->time = t;
+            if (set_sim_now(sim, t) < 0)
+                goto error;
+            for (;;) {
+                double popped_time;
+                PyObject *cb = heap_pop_root(q, &popped_time);
+                PyObject *res;
+                if (sample && --countdown <= 0) {
+                    countdown = sample;
+                    if (emit_dispatch(q, tracer_active, now) < 0) {
+                        Py_DECREF(cb);
+                        goto error;
+                    }
+                }
+                res = PyObject_CallNoArgs(cb);
+                Py_DECREF(cb);
+                if (res == NULL)
+                    goto error;
+                Py_DECREF(res);
+                if (q->heap_len == 0 || q->times[0] != t)
+                    break;
+            }
+        }
+    }
+    countdown_obj = PyLong_FromLongLong(countdown);
+    if (countdown_obj == NULL)
+        return NULL;
+    if (PyObject_SetAttrString(sim, "_trace_countdown", countdown_obj) < 0) {
+        Py_DECREF(countdown_obj);
+        return NULL;
+    }
+    Py_DECREF(countdown_obj);
+    return PyFloat_FromDouble(now);
+
+error:
+    /* Like the pure loop, a callback exception leaves `_trace_countdown`
+     * at its pre-run value. */
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+cq_get_time(CEventQueue *q, void *Py_UNUSED(closure))
+{
+    return PyFloat_FromDouble(q->time);
+}
+
+static PyGetSetDef cq_getset[] = {
+    {"time", (getter)cq_get_time, NULL,
+     "The queue's time cursor (the time of the ready slab).", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMethodDef cq_methods[] = {
+    {"push", (PyCFunction)cq_push, METH_VARARGS,
+     "push(time, callback): schedule callback at absolute time."},
+    {"push_many", (PyCFunction)cq_push_many, METH_VARARGS,
+     "push_many(time, callbacks): bulk-schedule callbacks at one time."},
+    {"peek_time", (PyCFunction)cq_peek_time, METH_NOARGS,
+     "Time of the next scheduled callback, or None."},
+    {"pop", (PyCFunction)cq_pop, METH_NOARGS,
+     "Remove and return (time, callback) for the next entry."},
+    {"run", (PyCFunction)cq_run, METH_VARARGS,
+     "run(sim, until, tracer_active, sample): drain the queue in C."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PySequenceMethods cq_as_sequence = {
+    .sq_length = (lenfunc)cq_len,
+};
+
+static PyTypeObject CEventQueueType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._speedups.CEventQueue",
+    .tp_doc = "Array-backed deterministic event queue (compiled backend).",
+    .tp_basicsize = sizeof(CEventQueue),
+    .tp_itemsize = 0,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_new = cq_new,
+    .tp_dealloc = (destructor)cq_dealloc,
+    .tp_traverse = (traverseproc)cq_traverse,
+    .tp_clear = (inquiry)cq_clear,
+    .tp_methods = cq_methods,
+    .tp_getset = cq_getset,
+    .tp_as_sequence = &cq_as_sequence,
+};
+
+static PyModuleDef speedups_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._speedups",
+    .m_doc = "Compiled fast paths for the simulation kernel.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__speedups(void)
+{
+    PyObject *module;
+
+    if (PyType_Ready(&CEventQueueType) < 0)
+        return NULL;
+    module = PyModule_Create(&speedups_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&CEventQueueType);
+    if (PyModule_AddObject(module, "CEventQueue",
+                           (PyObject *)&CEventQueueType) < 0) {
+        Py_DECREF(&CEventQueueType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

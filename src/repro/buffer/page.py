@@ -28,9 +28,16 @@ class Priority(IntEnum):
     HIGH = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
-    """A resident page slot in the bufferpool."""
+    """A resident page slot in the bufferpool.
+
+    Frames are pool-owned slab objects: the pool preallocates ``capacity``
+    of them once and recycles a frame for a new page when its slot turns
+    over (see :meth:`reset`).  Holding a frame reference is valid while
+    the page is pinned; after unfix+eviction the same object may describe
+    a different page.
+    """
 
     key: PageKey
     pin_count: int = 0
@@ -44,3 +51,13 @@ class Frame:
     def pinned(self) -> bool:
         """Whether any process currently holds the page fixed."""
         return self.pin_count > 0
+
+    def reset(self, key: PageKey, now: float) -> None:
+        """Recycle this slab frame for a freshly admitted page."""
+        self.key = key
+        self.pin_count = 0
+        self.dirty = False
+        self.priority = Priority.NORMAL
+        self.admitted_at = now
+        self.last_used_at = now
+        self.access_count = 0

@@ -43,6 +43,15 @@ from repro.trace.tracer import TracerHandle
 
 AddressOf = Callable[[PageKey], int]
 
+#: Placeholder identity for slab frames that do not hold a page yet.
+_NO_KEY = PageKey(-1, -1)
+
+#: Bit width reserved for page numbers in the int-packed slot-map key;
+#: ``space_id << _PAGE_BITS | page_no`` is injective for any database this
+#: simulator can hold and hashes as a plain int (identity hash) instead of
+#: a two-element tuple.
+_PAGE_BITS = 48
+
 #: Cached tracer reference shared by every pool hot path (``try_fix``,
 #: ``unfix``, ``_trace_fix``, ``_evict``) — one generation-checked handle
 #: instead of a ``get_tracer()`` registry lookup per event.
@@ -94,7 +103,16 @@ class BufferPool:
         )
         self.name = name
         self.stats = BufferStats()
-        self._frames: Dict[PageKey, Frame] = {}
+        # Slot-indexed frame table: a contiguous slab of ``capacity``
+        # preallocated frames, a LIFO free-slot stack, and an int-keyed
+        # page→slot map.  Admission recycles a slab frame (eight attribute
+        # stores) instead of constructing a dataclass, and every residency
+        # probe is an int-dict hit.  ``_slot_map`` preserves admission
+        # order, so ``resident_keys()`` reads exactly as the old
+        # ``Dict[PageKey, Frame]`` did.
+        self._slots: List[Frame] = [Frame(key=_NO_KEY) for _ in range(capacity)]
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._slot_map: Dict[int, int] = {}
         self._inflight: Dict[PageKey, Event] = {}
         # Frames reserved away by external pressure (fault injection);
         # always 0 in clean runs, so every path below behaves exactly as
@@ -148,7 +166,7 @@ class BufferPool:
     @property
     def resident_count(self) -> int:
         """Number of pages currently resident."""
-        return len(self._frames)
+        return len(self._slot_map)
 
     @property
     def inflight_count(self) -> int:
@@ -157,15 +175,18 @@ class BufferPool:
 
     def is_resident(self, key: PageKey) -> bool:
         """Whether the page is currently in the pool."""
-        return key in self._frames
+        return (key.space_id << _PAGE_BITS | key.page_no) in self._slot_map
 
     def frame_of(self, key: PageKey) -> Optional[Frame]:
         """The resident frame for ``key``, if any."""
-        return self._frames.get(key)
+        slot = self._slot_map.get(key.space_id << _PAGE_BITS | key.page_no)
+        return None if slot is None else self._slots[slot]
 
     def resident_keys(self) -> List[PageKey]:
-        """Snapshot of resident page keys (for tests and metrics)."""
-        return list(self._frames)
+        """Snapshot of resident page keys in admission order (tests and
+        metrics)."""
+        slots = self._slots
+        return [slots[slot].key for slot in self._slot_map.values()]
 
     # ------------------------------------------------------------------
     # Fix / unfix
@@ -183,9 +204,10 @@ class BufferPool:
         The trace event emitted on a hit is identical to the generator
         path's.
         """
-        frame = self._frames.get(key)
-        if frame is None:
+        slot = self._slot_map.get(key.space_id << _PAGE_BITS | key.page_no)
+        if slot is None:
             return None
+        frame = self._slots[slot]
         stats = self.stats
         stats.logical_reads += 1
         stats.hits += 1
@@ -200,6 +222,73 @@ class BufferPool:
                 outcome="hit",
             ))
         return frame
+
+    def try_fix_many(self, keys: Sequence[PageKey]) -> List[Optional[Frame]]:
+        """Batched :meth:`try_fix`: pin every currently-resident key.
+
+        Returns a frame-or-``None`` list parallel to ``keys``; counters,
+        policy touches, and trace events per resident key are identical
+        to ``try_fix`` called in a loop (one slot-map probe each, but the
+        stats/tracer/clock reads are hoisted out of the loop).
+
+        Demand scans deliberately do **not** route their inner loop
+        through this: batch-pinning a whole extent would lengthen pin
+        lifetimes, change the evictable set, and so perturb victim choice
+        — the metric digests would no longer be byte-identical to the
+        per-page formulation.  The intended callers hold the returned
+        pins only across code that advances no simulated time (push
+        delivery verification, warm-set probes, benchmarks).
+        """
+        slot_map = self._slot_map
+        slots = self._slots
+        stats = self.stats
+        now = self.sim.now
+        on_hit = self.policy.on_hit
+        # No simulated time passes inside the batch, so one tracer
+        # resolution covers every emitted event.
+        tracer = _TRACER.active()
+        frames: List[Optional[Frame]] = []
+        append = frames.append
+        for key in keys:
+            slot = slot_map.get(key.space_id << _PAGE_BITS | key.page_no)
+            if slot is None:
+                append(None)
+                continue
+            frame = slots[slot]
+            stats.logical_reads += 1
+            stats.hits += 1
+            frame.pin_count += 1
+            frame.last_used_at = now
+            frame.access_count += 1
+            on_hit(key)
+            if tracer is not None:
+                tracer.emit(BufferFix(
+                    time=now, space_id=key.space_id, page_no=key.page_no,
+                    outcome="hit",
+                ))
+            append(frame)
+        return frames
+
+    def fix_many(
+        self, keys: Sequence[PageKey], prefetch: Optional[Sequence[PageKey]] = None
+    ) -> Generator[Event, object, List[Frame]]:
+        """Pin every key in ``keys``, reading misses from disk.
+
+        Observation-equivalent to calling :meth:`fix` once per key in
+        order (hits resolve through the non-generator fast path first);
+        ``prefetch`` defaults to ``keys`` itself, so a miss reads the
+        whole remaining absent run in one request.  The digest caveat on
+        :meth:`try_fix_many` applies: all pins overlap until the caller
+        releases them.
+        """
+        frames: List[Frame] = []
+        run = prefetch if prefetch is not None else keys
+        for key in keys:
+            frame = self.try_fix(key)
+            if frame is None:
+                frame = yield from self.fix(key, prefetch=run)
+            frames.append(frame)
+        return frames
 
     def fix(
         self, key: PageKey, prefetch: Optional[Sequence[PageKey]] = None
@@ -217,11 +306,13 @@ class BufferPool:
         # ``logical = hits + misses + inflight_waits`` always holds; rare
         # eviction races that force another round count as fix_retries.
         classified = False
+        slot_key = key.space_id << _PAGE_BITS | key.page_no
         for attempt in range(self.MAX_FIX_RETRIES):
             if attempt > 0:
                 self.stats.fix_retries += 1
-            frame = self._frames.get(key)
-            if frame is not None:
+            slot = self._slot_map.get(slot_key)
+            if slot is not None:
+                frame = self._slots[slot]
                 frame.pin_count += 1
                 frame.last_used_at = self.sim.now
                 frame.access_count += 1
@@ -245,8 +336,9 @@ class BufferPool:
                     self._trace_fix(key, "miss")
                 yield from self._read_run(key, prefetch)
 
-            frame = self._frames.get(key)
-            if frame is not None:
+            slot = self._slot_map.get(slot_key)
+            if slot is not None:
+                frame = self._slots[slot]
                 frame.pin_count += 1
                 frame.last_used_at = self.sim.now
                 frame.access_count += 1
@@ -259,9 +351,10 @@ class BufferPool:
 
     def unfix(self, key: PageKey, priority: Priority = Priority.NORMAL) -> None:
         """Release one pin on ``key`` with a replacement-priority hint."""
-        frame = self._frames.get(key)
-        if frame is None:
+        slot = self._slot_map.get(key.space_id << _PAGE_BITS | key.page_no)
+        if slot is None:
             raise BufferPoolError(f"unfix of non-resident page {key}")
+        frame = self._slots[slot]
         if frame.pin_count <= 0:
             raise BufferPoolError(f"unfix of unpinned page {key}")
         frame.pin_count -= 1
@@ -287,7 +380,7 @@ class BufferPool:
 
     def mark_dirty(self, key: PageKey) -> None:
         """Flag a pinned page as modified (write back before eviction)."""
-        frame = self._frames.get(key)
+        frame = self.frame_of(key)
         if frame is None or not frame.pinned:
             raise BufferPoolError(f"mark_dirty requires a pinned resident page, got {key}")
         frame.dirty = True
@@ -322,7 +415,7 @@ class BufferPool:
         if not segments:
             return None, "resident"
         needed = sum(len(segment) for segment in segments)
-        room = self.capacity - self._reserved - len(self._frames) - len(self._inflight)
+        room = self.capacity - self._reserved - len(self._slot_map) - len(self._inflight)
         if needed > room:
             room += self._evict_clean(needed - room)
         kept: List[List[PageKey]] = []
@@ -359,7 +452,9 @@ class BufferPool:
             victim_key = self.policy.choose_victim(self._evictable_clean)
             if victim_key is None:
                 break
-            del self._frames[victim_key]
+            self._free.append(self._slot_map.pop(
+                victim_key.space_id << _PAGE_BITS | victim_key.page_no
+            ))
             self.policy.on_evict(victim_key)
             self.stats.evictions += 1
             freed += 1
@@ -371,7 +466,7 @@ class BufferPool:
         return freed
 
     def _evictable_clean(self, key: PageKey) -> bool:
-        frame = self._frames.get(key)
+        frame = self.frame_of(key)
         return frame is not None and not frame.pinned and not frame.dirty
 
     # ------------------------------------------------------------------
@@ -381,8 +476,9 @@ class BufferPool:
     def _read_run(
         self, key: PageKey, prefetch: Optional[Sequence[PageKey]]
     ) -> Generator[Event, object, None]:
+        slot_key = key.space_id << _PAGE_BITS | key.page_no
         while True:
-            if key in self._frames:
+            if slot_key in self._slot_map:
                 return  # became resident while we waited for room
             pending = self._inflight.get(key)
             if pending is not None:
@@ -392,7 +488,7 @@ class BufferPool:
             # Reserve room: frames + inflight + new run must fit in the
             # capacity left after external pressure reservations.
             capacity = self.capacity - self._reserved
-            needed = len(self._frames) + len(self._inflight) + len(run) - capacity
+            needed = len(self._slot_map) + len(self._inflight) + len(run) - capacity
             if needed <= 0:
                 break
             freed = yield from self._evict(needed)
@@ -401,7 +497,7 @@ class BufferPool:
             # Could not make room for the whole prefetch run; fall back to
             # reading just the demanded page.
             run = [key]
-            needed = len(self._frames) + len(self._inflight) + 1 - capacity
+            needed = len(self._slot_map) + len(self._inflight) + 1 - capacity
             if needed <= 0:
                 break
             freed = yield from self._evict(needed)
@@ -433,16 +529,26 @@ class BufferPool:
         yield completion
 
     def _admit_run(self, run: List[PageKey], completion: Event) -> None:
+        now = self.sim.now
+        slot_map = self._slot_map
+        slots = self._slots
+        free = self._free
+        inflight_pop = self._inflight.pop
+        on_admit = self.policy.on_admit
         for run_key in run:
-            self._inflight.pop(run_key, None)
-            if run_key in self._frames:
+            inflight_pop(run_key, None)
+            slot_key = run_key.space_id << _PAGE_BITS | run_key.page_no
+            if slot_key in slot_map:
                 continue
-            self._frames[run_key] = Frame(
-                key=run_key,
-                admitted_at=self.sim.now,
-                last_used_at=self.sim.now,
-            )
-            self.policy.on_admit(run_key)
+            if not free:
+                raise BufferPoolError(
+                    f"bufferpool {self.name} slot table overcommitted admitting "
+                    f"{run_key}: {len(slot_map)} resident of {self.capacity}"
+                )
+            slot = free.pop()
+            slots[slot].reset(run_key, now)
+            slot_map[slot_key] = slot
+            on_admit(run_key)
         completion.succeed(run)
 
     def _plan_run(
@@ -468,8 +574,14 @@ class BufferPool:
         segments: List[List[PageKey]] = []
         current: List[PageKey] = []
         prev_addr: Optional[int] = None
+        slot_map = self._slot_map
+        inflight = self._inflight
         for candidate in candidates:
-            absent = candidate not in self._frames and candidate not in self._inflight
+            absent = (
+                (candidate.space_id << _PAGE_BITS | candidate.page_no)
+                not in slot_map
+                and candidate not in inflight
+            )
             addr = self.address_of(candidate)
             contiguous = prev_addr is not None and addr == prev_addr + 1
             if absent and current and contiguous:
@@ -494,7 +606,8 @@ class BufferPool:
             victim_key = self.policy.choose_victim(self._evictable)
             if victim_key is None:
                 break
-            frame = self._frames[victim_key]
+            victim_slot_key = victim_key.space_id << _PAGE_BITS | victim_key.page_no
+            frame = self._slots[self._slot_map[victim_slot_key]]
             wrote_back = frame.dirty
             if frame.dirty:
                 # Pin during writeback so a concurrent fix cannot race the
@@ -507,7 +620,7 @@ class BufferPool:
                 if frame.pinned:
                     # Someone fixed it while we wrote; it is no longer a victim.
                     continue
-            del self._frames[victim_key]
+            self._free.append(self._slot_map.pop(victim_slot_key))
             self.policy.on_evict(victim_key)
             self.stats.evictions += 1
             freed += 1
@@ -520,11 +633,11 @@ class BufferPool:
         return freed
 
     def _evictable(self, key: PageKey) -> bool:
-        frame = self._frames.get(key)
+        frame = self.frame_of(key)
         return frame is not None and not frame.pinned
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<BufferPool {self.name} {len(self._frames)}/{self.capacity} resident, "
-            f"{len(self._inflight)} in flight>"
+            f"<BufferPool {self.name} {len(self._slot_map)}/{self.capacity} "
+            f"resident, {len(self._inflight)} in flight>"
         )

@@ -205,9 +205,9 @@ class PushPipeline:
             # set; the driver advancing one extent re-announces the same
             # pipeline window, it is not a new push.
             return
-        name = table.name
-        page_key = self.catalog.page_key
-        keys = [page_key(name, page) for page in table.extent_pages(extent_no)]
+        # Interned in the catalog — one dict hit per extent, no per-page
+        # key construction on the push hot path.
+        keys = self.catalog.extent_keys(table.name, extent_no)
         # The budget is a ceiling, not a gate: with nothing outstanding one
         # push always proceeds, so a pool smaller than budget/extent math
         # would suggest still gets at-most-one extent in flight.

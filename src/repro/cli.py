@@ -171,7 +171,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "regression")
     bench.add_argument("--tolerance", type=float, default=0.20,
                        help="allowed normalized-metric regression "
-                            "(default 0.20 = 20%%)")
+                            "(default 0.20 = 20%%); baseline entries with "
+                            "their own 'tolerance' key override this")
+    bench.add_argument("--only", metavar="NAMES", default=None,
+                       help="comma-separated benchmark subset (targeted "
+                            "profiling; incompatible with --check)")
     return parser
 
 
@@ -463,7 +467,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"repro bench: error: --tolerance must be in (0, 1), "
             f"got {args.tolerance}"
         )
-    report = run_benchmarks(quick=args.quick)
+    only = None
+    if args.only:
+        if args.check:
+            raise SystemExit(
+                "repro bench: error: --only cannot be combined with --check "
+                "(the gate needs the full battery)"
+            )
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+    try:
+        report = run_benchmarks(quick=args.quick, only=only)
+    except ValueError as exc:
+        raise SystemExit(f"repro bench: error: {exc}")
     print(render_report(report))
     if args.out:
         write_report(report, args.out)

@@ -74,6 +74,12 @@ class SystemConfig:
     #: Record every scan's visited page order (costs memory; used by the
     #: trace analyzer in :mod:`repro.metrics.access_log`).
     record_page_visits: bool = False
+    #: ``SimDispatch`` sampling for the kernel event loop: 1 traces every
+    #: dispatch (the historical behavior), ``N`` every Nth, 0 turns the
+    #: per-event tracer check off entirely — the setting for soak-scale
+    #: runs.  Only dispatch events are affected; buffer/disk/scan trace
+    #: events always emit.
+    trace_dispatch_sample: int = 1
     #: Deterministic fault schedule; None (the default) leaves every
     #: injection point dormant and the system byte-identical to a build
     #: without the fault layer.
@@ -105,6 +111,11 @@ class SystemConfig:
                 f"unknown sharing policy {self.sharing_policy!r}; "
                 f"known: {SHARING_POLICY_NAMES}"
             )
+        if self.trace_dispatch_sample < 0:
+            raise ValueError(
+                f"trace_dispatch_sample must be >= 0, "
+                f"got {self.trace_dispatch_sample}"
+            )
 
 
 class Database:
@@ -120,7 +131,9 @@ class Database:
 
     def __init__(self, config: Optional[SystemConfig] = None):
         self.config = config or SystemConfig()
-        self.sim = Simulator()
+        self.sim = Simulator(
+            trace_dispatch_sample=self.config.trace_dispatch_sample
+        )
         if self.config.n_disks > 1:
             stripe_pages = self.config.disk_stripe_pages
             if self.config.stripe_extents is not None:

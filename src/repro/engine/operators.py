@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,18 @@ class Operator(ABC):
         """Process a batch; returns abstract CPU units spent (including
         downstream stages)."""
 
+    def required_columns(self) -> Optional[FrozenSet[str]]:
+        """Columns this operator (and everything downstream of it) reads
+        from its input batches.
+
+        ``None`` means "unknown — assume all".  Upstream operators use
+        this for projection pushdown: :class:`Filter` compacts only the
+        columns the rest of the pipeline can touch.  The charged
+        compaction cost is per *row*, not per column, so skipping unread
+        columns changes no simulated timing — only host CPU.
+        """
+        return None
+
     def finish(self) -> object:
         """Finalize and return the pipeline result (terminal ops override)."""
         if self.downstream is not None:
@@ -65,6 +77,14 @@ class Filter(Operator):
         self.cost = cost
         self.rows_in = 0
         self.rows_out = 0
+        # Projection pushdown: the operator chain is fixed at construction,
+        # so the set of columns worth compacting is too.
+        self._compact_columns = downstream.required_columns()
+
+    def required_columns(self) -> Optional[FrozenSet[str]]:
+        if self._compact_columns is None:
+            return None
+        return frozenset(self.predicate.columns()) | self._compact_columns
 
     def push(self, data: PageData, n_rows: int) -> float:
         mask = self.predicate.evaluate(data)
@@ -77,9 +97,19 @@ class Filter(Operator):
         if selected == n_rows:
             filtered = data
         else:
-            # Compact every column: the rest of the pipeline may touch any
-            # of them, and the per-row compaction cost is charged below.
-            filtered = {name: values[mask] for name, values in data.items()}
+            # Compact only the columns the rest of the pipeline can read
+            # (all of them when the downstream can't say).  The charged
+            # per-row compaction cost below is column-count independent,
+            # so the pushdown changes host time only, never simulated
+            # time.
+            needed = self._compact_columns
+            if needed is None:
+                filtered = {name: values[mask] for name, values in data.items()}
+            else:
+                filtered = {
+                    name: values[mask]
+                    for name, values in data.items() if name in needed
+                }
             units += selected * self.cost.filter_compact_units
         assert self.downstream is not None
         return units + self.downstream.push(filtered, selected)
@@ -100,6 +130,17 @@ class Project(Operator):
         super().__init__(downstream)
         self.outputs = outputs
         self.cost = cost
+
+    def required_columns(self) -> Optional[FrozenSet[str]]:
+        below = self.downstream.required_columns() if self.downstream else None
+        if below is None:
+            return None
+        # Forwarded columns the downstream reads but we do not produce,
+        # plus everything our expressions read.
+        needed = set(below) - set(self.outputs)
+        for expr in self.outputs.values():
+            needed |= expr.columns()
+        return frozenset(needed)
 
     def push(self, data: PageData, n_rows: int) -> float:
         units = 0.0
@@ -129,6 +170,13 @@ class GroupByAggregate(Operator):
         # group key -> accumulator dict; the empty tuple is the global group.
         self._groups: Dict[Tuple, Dict[str, float]] = {}
 
+    def required_columns(self) -> Optional[FrozenSet[str]]:
+        needed = set(self.group_by)
+        for agg in self.aggregates:
+            if agg.expr is not None:
+                needed |= agg.expr.columns()
+        return frozenset(needed)
+
     def push(self, data: PageData, n_rows: int) -> float:
         if n_rows == 0:
             return 0.0
@@ -140,7 +188,11 @@ class GroupByAggregate(Operator):
                 inputs.append(None)
             else:
                 values = agg.expr.evaluate(data)
-                inputs.append(np.broadcast_to(values, (n_rows,)))
+                # Column-shaped results (the common case) skip the
+                # broadcast view; only scalar expressions still need it.
+                if getattr(values, "shape", None) != (n_rows,):
+                    values = np.broadcast_to(values, (n_rows,))
+                inputs.append(values)
                 units += n_rows * agg.expr.cost_units_per_row
         if not self.group_by:
             self._accumulate((), inputs, None, n_rows)
@@ -213,6 +265,9 @@ class RowCounter(Operator):
     def __init__(self) -> None:
         super().__init__(None)
         self.rows = 0
+
+    def required_columns(self) -> Optional[FrozenSet[str]]:
+        return frozenset()
 
     def push(self, data: PageData, n_rows: int) -> float:
         self.rows += n_rows

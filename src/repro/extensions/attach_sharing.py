@@ -94,9 +94,9 @@ class CircularScanDaemon:
         table = self.table
         while self._consumers:
             page_no = self._position
-            key = db.catalog.page_key(table.name, page_no)
-            extent = table.extent_pages(table.extent_of(page_no))
-            prefetch = [db.catalog.page_key(table.name, p) for p in extent]
+            extent_no = table.extent_of(page_no)
+            prefetch = db.catalog.extent_keys(table.name, extent_no)
+            key = prefetch[page_no - extent_no * table.extent_size]
             frame = yield from db.pool.fix(key, prefetch=prefetch)
             assert frame.key == key
             try:

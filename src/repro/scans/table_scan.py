@@ -114,11 +114,13 @@ try_fix` fast path — :meth:`~repro.buffer.pool.BufferPool.fix` is only
 
     def _extent_keys(self, page_no: int) -> tuple:
         """``(extent_no, first_page_of_extent, keys)`` for the whole
-        extent containing ``page_no`` — the prefetch unit."""
-        extent_no = self.table.extent_of(page_no)
-        pages = self.table.extent_pages(extent_no)
-        catalog = self.db.catalog
-        name = self.table.name
-        return extent_no, pages[0], [
-            catalog.page_key(name, page) for page in pages
-        ]
+        extent containing ``page_no`` — the prefetch unit.  The keys come
+        from the catalog's interned per-table arrays: a cache hit, not an
+        allocation per page."""
+        table = self.table
+        extent_no = table.extent_of(page_no)
+        return (
+            extent_no,
+            extent_no * table.extent_size,
+            self.db.catalog.extent_keys(table.name, extent_no),
+        )

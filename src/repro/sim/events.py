@@ -7,14 +7,36 @@ registered on a pending event run when it triggers; callbacks added after
 triggering are scheduled immediately at the current simulation time.
 
 The :class:`EventQueue` is a deterministic priority queue of ``(time, seq)``
-ordered callbacks used internally by the simulator.
+ordered callbacks used internally by the simulator.  Since the batched
+dispatch rework it is split into two lanes:
+
+* a *ready slab* (:attr:`EventQueue._ready`) — a FIFO of bare callbacks due
+  at exactly the queue's current time.  Zero-delay scheduling (event
+  triggers, process starts, resource grants — the majority of all pushes)
+  costs one append here: no entry tuple, no sequence number, no heap
+  sift;
+* a *heap* of ``(time, seq, callback)`` entries for strictly-future times.
+
+Because a push routes to the slab **only** when its time is exactly the
+current time, and the current time only advances when the slab is empty,
+the drain order (all heap entries at the new time in sequence order, then
+the slab FIFO) is identical to the old single-heap ``(time, seq)`` order —
+the Hypothesis equivalence property in ``tests/test_sim_events.py`` pins
+this against a copy of the legacy implementation.
+
+An optional compiled backend (``repro._speedups``, enabled with
+``REPRO_COMPILED=1``) provides the same queue with parallel C arrays; see
+:mod:`repro.sim.backend`.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from functools import partial
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -65,9 +87,12 @@ class Event:
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(self)`` when the event triggers.
 
-        If the event already triggered, the callback is scheduled to run
-        at the current simulation time (preserving run-to-completion
-        semantics rather than invoking it re-entrantly).
+        If the event already triggered, the callback lands on the ready
+        slab at the current simulation time (preserving run-to-completion
+        semantics rather than invoking it re-entrantly).  Since the
+        batched-dispatch rework this late path is a single FIFO append —
+        no heap entry, no sequence number — so hot loops that race an
+        already-completed I/O no longer pay a heap sift per callback.
         """
         if self._triggered:
             self.sim.schedule(0.0, partial(callback, self))
@@ -102,10 +127,16 @@ class Event:
         self._is_error = is_error
         callbacks, self._callbacks = self._callbacks, []
         # partial() beats a closure here: C-level allocation, no cell vars,
-        # and this runs once per waiter on every trigger.
-        schedule = self.sim.schedule
-        for callback in callbacks:
-            schedule(0.0, partial(callback, self))
+        # and this runs once per waiter on every trigger.  Multi-waiter
+        # triggers go through the bulk-schedule API: one queue call for
+        # the whole waiter list instead of one heap/slab touch each.
+        n = len(callbacks)
+        if n == 1:
+            self.sim.schedule(0.0, partial(callbacks[0], self))
+        elif n:
+            self.sim.schedule_many(
+                0.0, [partial(callback, self) for callback in callbacks]
+            )
 
 
 class Timeout(Event):
@@ -127,8 +158,8 @@ class Timeout(Event):
         self.succeed(self._scheduled_value)
 
 
-#: A raw queue entry: ``(time, seq, callback)``.  ``seq`` breaks time
-#: ties in insertion order and is never exposed except for re-queueing.
+#: A raw heap entry: ``(time, seq, callback)``.  ``seq`` breaks time
+#: ties in insertion order and is internal to the queue.
 QueueEntry = Tuple[float, int, Callable[[], None]]
 
 
@@ -138,42 +169,93 @@ class EventQueue:
     Entries are ordered by ``(time, sequence_number)`` so that callbacks
     scheduled for the same instant run in insertion order, which makes
     every simulation fully reproducible.
+
+    The queue owns the *time cursor* ``_time``: pushes at exactly the
+    cursor go to the ready slab (FIFO — their insertion order **is**
+    their sequence order, because the cursor only advances once the slab
+    is empty), pushes at strictly later times go to the heap, and pushes
+    into the past raise :class:`SimulationError` immediately instead of
+    corrupting the heap order.
     """
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_ready", "_seq", "_time")
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[QueueEntry] = []
+        self._ready: deque = deque()
         self._seq = 0
+        self._time = 0.0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
+
+    @property
+    def time(self) -> float:
+        """The queue's time cursor (the time of the ready slab)."""
+        return self._time
 
     def push(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run at absolute simulation ``time``."""
-        heapq.heappush(self._heap, (time, self._seq, callback))
-        self._seq += 1
+        if time > self._time:
+            if time == _INF:
+                raise SimulationError("cannot schedule at time=inf")
+            heappush(self._heap, (time, self._seq, callback))
+            self._seq += 1
+        elif time == self._time:
+            self._ready.append(callback)
+        else:
+            # NaN falls through both comparisons above.
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._time})"
+            )
+
+    def push_many(
+        self, time: float, callbacks: Iterable[Callable[[], None]]
+    ) -> None:
+        """Bulk-schedule ``callbacks`` at ``time`` in iteration order.
+
+        Equivalent to ``push`` in a loop, but the time routing and (for
+        future times) the sequence-counter bookkeeping happen once for
+        the whole batch.  The due-now case — every waiter of a triggered
+        event — is a single ``deque.extend``.
+        """
+        if time > self._time:
+            if time == _INF:
+                raise SimulationError("cannot schedule at time=inf")
+            heap = self._heap
+            seq = self._seq
+            for callback in callbacks:
+                heappush(heap, (time, seq, callback))
+                seq += 1
+            self._seq = seq
+        elif time == self._time:
+            self._ready.extend(callbacks)
+        else:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._time})"
+            )
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next scheduled callback, if any."""
-        if not self._heap:
+        heap = self._heap
+        if self._ready and (not heap or heap[0][0] > self._time):
+            return self._time
+        if not heap:
             return None
-        return self._heap[0][0]
+        return heap[0][0]
 
     def pop(self) -> Tuple[float, Callable[[], None]]:
-        """Remove and return ``(time, callback)`` for the next entry."""
-        time, _seq, callback = heapq.heappop(self._heap)
-        return time, callback
+        """Remove and return ``(time, callback)`` for the next entry.
 
-    def pop_entry(self) -> QueueEntry:
-        """Remove and return the raw next entry, sequence number included.
-
-        Pairs with :meth:`requeue`: the event loop pops exactly once per
-        dispatch and, when an ``until`` bound stops the run early, pushes
-        the untouched entry back without disturbing its tie-break order.
+        Heap entries at the cursor time pop before slab entries (they
+        were pushed before the cursor reached their time, so their
+        sequence numbers are smaller); the cursor advances to the popped
+        entry's time.
         """
-        return heapq.heappop(self._heap)
-
-    def requeue(self, entry: QueueEntry) -> None:
-        """Push back an entry obtained from :meth:`pop_entry` verbatim."""
-        heapq.heappush(self._heap, entry)
+        heap = self._heap
+        if self._ready and (not heap or heap[0][0] > self._time):
+            return self._time, self._ready.popleft()
+        time, _seq, callback = heappop(heap)
+        if time > self._time:
+            self._time = time
+        return time, callback

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional
+from heapq import heappop
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.sim import backend
 from repro.sim.events import Event, EventQueue, SimulationError, Timeout
 from repro.sim.process import Process
 from repro.trace.events import SimDispatch
@@ -13,6 +15,8 @@ from repro.trace.tracer import TracerHandle
 #: tracer generation counter — one integer compare per dispatch instead of
 #: a ``get_tracer()`` call, while sink swaps mid-run are still picked up.
 _TRACER = TracerHandle()
+
+_INF = float("inf")
 
 
 class Simulator:
@@ -30,27 +34,74 @@ class Simulator:
         sim.run()
         assert sim.now == 1.5
         assert proc.completion.value == "done"
+
+    ``trace_dispatch_sample`` controls :class:`SimDispatch` emission: 1
+    (the default) traces every dispatch exactly as before, ``N`` emits
+    every Nth, and 0 disables dispatch tracing entirely — the event loop
+    then pays **zero** per-event tracer checks, which is what soak-scale
+    runs want (buffer/disk/scan events are unaffected).
+
+    The event queue backend is chosen per :mod:`repro.sim.backend`:
+    pure python by default, the compiled ``repro._speedups`` queue under
+    ``REPRO_COMPILED=1``.  Both produce byte-identical dispatch orders.
     """
 
-    def __init__(self) -> None:
-        self._queue = EventQueue()
+    def __init__(self, trace_dispatch_sample: int = 1) -> None:
+        if trace_dispatch_sample < 0:
+            raise SimulationError(
+                f"trace_dispatch_sample must be >= 0, got {trace_dispatch_sample}"
+            )
+        self._compiled = backend.use_compiled()
+        if self._compiled:
+            self._queue = backend.compiled_queue_class()()
+        else:
+            self._queue = EventQueue()
         self._now = 0.0
         self._running = False
+        self.trace_dispatch_sample = trace_dispatch_sample
+        self._trace_countdown = max(trace_dispatch_sample, 0) or 1
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
 
+    @property
+    def backend_name(self) -> str:
+        """Which queue backend this simulator runs on."""
+        return "compiled" if self._compiled else "python"
+
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay`` simulated seconds."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        """Run ``callback`` after ``delay`` simulated seconds.
+
+        ``delay`` must be finite and non-negative; NaN and infinity raise
+        :class:`SimulationError` immediately (a NaN-timed entry would
+        silently corrupt the queue order, an infinite one would never
+        run).
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
         self._queue.push(self._now + delay, callback)
+
+    def schedule_many(
+        self, delay: float, callbacks: Iterable[Callable[[], None]]
+    ) -> None:
+        """Bulk-schedule ``callbacks`` at the same instant, in order.
+
+        One queue operation for the whole batch; semantically identical
+        to calling :meth:`schedule` once per callback.
+        """
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"delay must be finite and >= 0, got {delay!r}"
+            )
+        self._queue.push_many(self._now + delay, callbacks)
 
     def event(self) -> Event:
         """Create a fresh untriggered event bound to this simulator."""
@@ -60,10 +111,13 @@ class Simulator:
         """Return an event that succeeds ``delay`` seconds from now.
 
         The returned :class:`~repro.sim.events.Timeout` is queued as its
-        own callback, so a timeout costs one allocation, not two.
+        own callback, so a timeout costs one allocation, not two.  Like
+        :meth:`schedule`, non-finite delays raise.
         """
-        if delay < 0:
-            raise SimulationError(f"negative timeout: {delay}")
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"timeout delay must be finite and >= 0, got {delay!r}"
+            )
         ev = Timeout(self, value)
         self._queue.push(self._now + delay, ev)
         return ev
@@ -117,41 +171,82 @@ class Simulator:
 
         The loop body is the hottest code in the package: every simulated
         page touch, disk completion, and throttle wait dispatches through
-        here.  It therefore pops each heap entry exactly once (re-queueing
-        only when the ``until`` bound is exceeded), keeps the clock in a
-        local, and reads the tracer through a generation-checked handle
-        instead of a registry lookup per dispatch.
+        here.  It drains in two nested lanes: the ready slab (due-now
+        callbacks, one ``popleft`` each — no heap op, no ``until``
+        re-check, no time comparison) and same-timestamp heap runs (the
+        clock, the ``until`` bound, and the queue's time cursor are
+        updated once per distinct timestamp, not once per dispatch).
         """
         if self._running:
             raise SimulationError("Simulator.run called re-entrantly")
         self._running = True
         try:
-            queue = self._queue
-            heap = queue._heap  # the loop condition must not pay a __len__ call
-            pop_entry = queue.pop_entry
-            tracer_of = _TRACER.active
             now = self._now
-            while heap:
-                entry = pop_entry()
-                time = entry[0]
-                if until is not None and time > until:
-                    queue.requeue(entry)
+            if until is not None and until < now:
+                # A bound already in the past never dispatches anything.
+                # Legacy quirk, preserved: the clock moves to the bound
+                # only when work is still pending.
+                if len(self._queue):
                     self._now = until
                     return until
-                if time < now - 1e-12:
-                    raise SimulationError(
-                        f"event queue time went backwards: {time} < {now}"
-                    )
-                if time > now:
-                    now = time
-                    self._now = now
-                tracer = tracer_of()
-                if tracer is not None:
-                    tracer.emit(SimDispatch(time=now, queue_len=len(heap)))
-                entry[2]()
+                return now
+            if self._compiled:
+                now = self._queue.run(
+                    self, until, _TRACER.active, self.trace_dispatch_sample
+                )
+                if until is not None and until > now:
+                    now = until
+                self._now = now
+                return now
+            queue = self._queue
+            heap = queue._heap
+            ready = queue._ready
+            pop_ready = ready.popleft
+            sample = self.trace_dispatch_sample
+            countdown = self._trace_countdown
+            tracer_of = _TRACER.active
+            while True:
+                while ready:
+                    callback = pop_ready()
+                    if sample:
+                        countdown -= 1
+                        if countdown <= 0:
+                            countdown = sample
+                            tracer = tracer_of()
+                            if tracer is not None:
+                                tracer.emit(SimDispatch(
+                                    time=now,
+                                    queue_len=len(heap) + len(ready),
+                                ))
+                    callback()
+                if not heap:
+                    break
+                time = heap[0][0]
+                if until is not None and time > until:
+                    now = until
+                    break
+                now = time
+                self._now = time
+                queue._time = time
+                while True:
+                    entry = heappop(heap)
+                    if sample:
+                        countdown -= 1
+                        if countdown <= 0:
+                            countdown = sample
+                            tracer = tracer_of()
+                            if tracer is not None:
+                                tracer.emit(SimDispatch(
+                                    time=now,
+                                    queue_len=len(heap) + len(ready),
+                                ))
+                    entry[2]()
+                    if not heap or heap[0][0] != time:
+                        break
             if until is not None and until > now:
                 now = until
-                self._now = now
+            self._now = now
+            self._trace_countdown = countdown
             return now
         finally:
             self._running = False

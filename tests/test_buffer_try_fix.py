@@ -123,9 +123,10 @@ def policy_state(pool):
 
 
 def frame_state(pool):
+    frames = {k: pool.frame_of(k) for k in pool.resident_keys()}
     return {
         k: (f.pin_count, f.access_count, f.last_used_at, int(f.priority))
-        for k, f in sorted(pool._frames.items())
+        for k, f in sorted(frames.items())
     }
 
 

@@ -1,0 +1,229 @@
+"""Equivalence tests for the optional compiled kernel backend.
+
+The compiled ``repro._speedups.CEventQueue`` must be observationally
+identical to the pure-python two-lane queue: same dispatch order, same
+trace events, same error behavior, and — the acceptance bar — the same
+experiment metric digests.  Every test here is skipped when the
+extension has not been built (``make compiled``); the compiled CI lane
+builds it and runs this module under ``REPRO_COMPILED=require``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import backend
+from repro.sim.events import SimulationError
+from repro.sim.kernel import Simulator
+from repro.trace.tracer import Tracer, set_tracer
+
+pytestmark = pytest.mark.skipif(
+    not backend.compiled_available(),
+    reason="repro._speedups not built (run 'make compiled')",
+)
+
+
+def make_sim(compiled: bool, **kwargs) -> Simulator:
+    with backend.forced(compiled):
+        sim = Simulator(**kwargs)
+    assert sim.backend_name == ("compiled" if compiled else "python")
+    return sim
+
+
+class TestBackendSelection:
+    def test_forced_compiled_uses_extension(self):
+        sim = make_sim(True)
+        assert type(sim._queue).__module__ == "repro._speedups"
+
+    def test_forced_pure_ignores_extension(self):
+        sim = make_sim(False)
+        assert type(sim._queue).__module__ == "repro.sim.events"
+
+
+class TestQueueParity:
+    """Direct queue-level parity on the EventQueue API surface."""
+
+    def test_pop_order_matches(self):
+        def drive(compiled):
+            sim = make_sim(compiled)
+            q = sim._queue
+            q.push(1.0, lambda: "a")
+            q.push(2.0, lambda: "b")
+            q.push_many(1.0, [lambda: "c", lambda: "d"])
+            out = []
+            while len(q):
+                time, callback = q.pop()
+                out.append((time, callback()))
+            return out, q.time
+
+        assert drive(True) == drive(False)
+
+    def test_ready_slab_routing_matches(self):
+        def drive(compiled):
+            sim = make_sim(compiled)
+            q = sim._queue
+            q.push(0.0, lambda: "now")       # cursor time: ready slab
+            q.push(0.5, lambda: "later")
+            assert q.peek_time() == 0.0
+            first = q.pop()
+            second = q.pop()
+            return first[0], first[1](), second[0], second[1]()
+
+        assert drive(True) == drive(False)
+
+    def test_heap_beats_slab_at_cursor(self):
+        """Heap entries at the cursor time pop before slab entries."""
+        def drive(compiled):
+            sim = make_sim(compiled)
+            q = sim._queue
+            q.push(1.0, lambda: "heap")
+            time, callback = q.pop()        # cursor advances to 1.0
+            out = [(time, callback())]
+            q.push(2.0, lambda: "heap2")
+            time, _ = q.pop()               # cursor advances to 2.0
+            out.append((time, "heap2"))
+            q.push(2.0, lambda: "slab")     # at cursor: slab
+            out.append(q.peek_time())
+            time, callback = q.pop()
+            out.append((time, callback()))
+            return out
+
+        assert drive(True) == drive(False)
+
+    @pytest.mark.parametrize("bad", [-0.5, float("nan"), float("inf")])
+    def test_push_rejects_bad_times(self, bad):
+        for compiled in (True, False):
+            q = make_sim(compiled)._queue
+            with pytest.raises(SimulationError):
+                q.push(bad, lambda: None)
+            with pytest.raises(SimulationError):
+                q.push_many(bad, [lambda: None])
+            assert len(q) == 0
+
+    def test_pop_empty_raises_indexerror(self):
+        for compiled in (True, False):
+            with pytest.raises(IndexError):
+                make_sim(compiled)._queue.pop()
+
+    def test_error_messages_match(self):
+        def message(compiled):
+            q = make_sim(compiled)._queue
+            with pytest.raises(SimulationError) as err:
+                q.push(-0.5, lambda: None)
+            return str(err.value)
+
+        assert message(True) == message(False)
+
+
+def _scripted_run(compiled: bool, until=None, sample: int = 1):
+    """A deterministic multi-process script, returning everything
+    observable: dispatch order, trace events, end time, return values."""
+
+    class ListSink:
+        def __init__(self):
+            self.events = []
+
+        def write(self, event):
+            self.events.append(event)
+
+    sim = make_sim(compiled, trace_dispatch_sample=sample)
+    log = []
+
+    def worker(sim, name, delay, hops):
+        for hop in range(hops):
+            yield sim.timeout(delay)
+            log.append((name, hop, sim.now))
+        return f"{name}-done"
+
+    procs = [
+        sim.spawn(worker(sim, "a", 1.0, 4)),
+        sim.spawn(worker(sim, "b", 0.75, 5)),
+        sim.spawn(worker(sim, "c", 1.5, 2)),
+    ]
+    sim.schedule(2.0, lambda: log.append(("direct", None, sim.now)))
+    sim.schedule_many(1.0, [
+        (lambda i=i: log.append(("batch", i, sim.now))) for i in range(3)
+    ])
+    sink = ListSink()
+    previous = set_tracer(Tracer([sink]))
+    try:
+        end = sim.run(until=until)
+    finally:
+        set_tracer(previous)
+    values = [p.completion.value if p.completion.triggered else None
+              for p in procs]
+    dispatches = [(e.time, e.queue_len) for e in sink.events
+                  if e.kind == "dispatch"]
+    return log, dispatches, end, sim.now, values
+
+
+class TestRunParity:
+    def test_unbounded_run_matches(self):
+        assert _scripted_run(True) == _scripted_run(False)
+
+    @pytest.mark.parametrize("until", [0.0, 0.75, 2.5, 100.0])
+    def test_bounded_run_matches(self, until):
+        assert _scripted_run(True, until=until) == \
+            _scripted_run(False, until=until)
+
+    @pytest.mark.parametrize("sample", [0, 2, 7])
+    def test_dispatch_sampling_matches(self, sample):
+        assert _scripted_run(True, sample=sample) == \
+            _scripted_run(False, sample=sample)
+
+    def test_callback_exception_propagates(self):
+        for compiled in (True, False):
+            sim = make_sim(compiled)
+            sim.schedule(1.0, lambda: (_ for _ in ()).throw(ValueError("boom")))
+            with pytest.raises(ValueError, match="boom"):
+                sim.run()
+            # The clock stopped at the failing dispatch.
+            assert sim.now == 1.0
+
+    def test_resumed_runs_match(self):
+        """run(until=...) then run() must agree across backends."""
+        def drive(compiled):
+            sim = make_sim(compiled)
+            seen = []
+            for t in (1.0, 2.0, 3.0):
+                sim.schedule(t, lambda t=t: seen.append(t))
+            marks = [sim.run(until=1.5), sim.run(until=2.5), sim.run()]
+            return seen, marks
+
+        assert drive(True) == drive(False)
+
+
+class TestDigestEquality:
+    """The acceptance bar: identical experiment metric digests."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("experiment", ["e2", "st-push", "sv-steady"])
+    def test_experiment_digest_matches(self, experiment):
+        from repro.experiments.harness import ExperimentSettings
+        from repro.experiments.runner import ExperimentTask, execute_task
+
+        task = ExperimentTask(
+            experiment=experiment,
+            settings=ExperimentSettings(scale=0.1, n_streams=3, seed=7),
+        )
+
+        def digest(compiled):
+            with backend.forced(compiled):
+                return execute_task(task).digest
+
+        assert digest(True) == digest(False)
+
+    def test_quick_e2_digest_matches(self):
+        from repro.experiments.harness import ExperimentSettings
+        from repro.experiments.runner import ExperimentTask, execute_task
+
+        task = ExperimentTask(
+            experiment="e2",
+            settings=ExperimentSettings(scale=0.05, n_streams=2, seed=11),
+        )
+
+        def digest(compiled):
+            with backend.forced(compiled):
+                return execute_task(task).digest
+
+        assert digest(True) == digest(False)

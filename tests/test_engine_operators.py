@@ -120,10 +120,13 @@ class TestFilter:
         assert sink.finish() == 0
 
     def test_filtered_columns_consistent(self):
-        """All columns must be compacted together."""
+        """All surviving columns must be compacted together."""
         collected = {}
 
         class Probe(RowCounter):
+            def required_columns(self):
+                return None  # unknown: may read anything
+
             def push(self, data, n_rows):
                 collected.update({k: len(v) for k, v in data.items()})
                 return super().push(data, n_rows)
@@ -131,6 +134,28 @@ class TestFilter:
         filt = Filter(col("a") < lit(3), Probe(), COST)
         filt.push(page(10), 10)
         assert set(collected.values()) == {3}
+        assert set(collected) == set(page(10))
+
+    def test_compaction_projects_to_required_columns(self):
+        """A downstream that declares its columns gets only those."""
+        collected = {}
+
+        class Probe(RowCounter):
+            def required_columns(self):
+                return frozenset({"b"})
+
+            def push(self, data, n_rows):
+                collected.update({k: len(v) for k, v in data.items()})
+                return super().push(data, n_rows)
+
+        filt = Filter(col("a") < lit(3), Probe(), COST)
+        filt.push(page(10), 10)
+        assert set(collected) == {"b"}
+        assert collected["b"] == 3
+
+    def test_required_columns_includes_own_predicate(self):
+        filt = Filter(col("a") < lit(3), RowCounter(), COST)
+        assert filt.required_columns() == frozenset({"a"})
 
 
 class TestProject:

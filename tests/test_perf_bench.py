@@ -18,11 +18,14 @@ from repro.perf.bench import (
     bench_dispatch,
     bench_fix_hit,
     bench_fix_hit_generator,
+    bench_fix_many,
     bench_fix_miss,
+    bench_push_many,
     calibrate,
     compare_reports,
     load_report,
     render_report,
+    run_benchmarks,
     write_report,
 )
 
@@ -50,6 +53,20 @@ class TestBenchBodies:
 
     def test_dispatch_body_runs(self):
         assert bench_dispatch(500) > 0
+
+    def test_batch_bodies_run(self):
+        assert bench_push_many(500) > 0
+        assert bench_fix_many(200) > 0
+
+    def test_only_restricts_battery(self):
+        report = run_benchmarks(quick=True, only=["dispatch"])
+        assert set(report.benchmarks) == {"dispatch"}
+        # The speedup ratio needs both fix benches; neither ran.
+        assert "fix_hit_speedup_vs_generator" not in report.derived
+
+    def test_only_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            run_benchmarks(quick=True, only=["no_such_bench"])
 
 
 class TestReport:
@@ -121,6 +138,24 @@ class TestCompareReports:
         current.add_throughput("brand_new", 1.0)
         assert compare_reports(base, current) == []
 
+    def test_per_benchmark_tolerance_overrides_global(self):
+        """A baseline entry's own tolerance key wins over --tolerance."""
+        base = make_report(wall=0.5)
+        base.benchmarks["staggered_q6"]["tolerance"] = 0.50
+        slow = make_report(wall=0.65)  # +30%: over 20%, under 50%
+        assert compare_reports(base, slow, tolerance=0.20) == []
+        slower = make_report(wall=0.80)  # +60%: over the per-bench 50%
+        problems = compare_reports(base, slower, tolerance=0.20)
+        assert len(problems) == 1 and "50%" in problems[0]
+
+    def test_tolerance_key_survives_round_trip(self, tmp_path):
+        report = make_report()
+        report.add_wall("soak_multi_device", 2.0, tolerance=0.35)
+        path = str(tmp_path / "bench.json")
+        write_report(report, path)
+        loaded = load_report(path)
+        assert loaded.benchmarks["soak_multi_device"]["tolerance"] == 0.35
+
 
 class TestCliBench:
     def test_parser_accepts_bench_options(self):
@@ -140,7 +175,7 @@ class TestCliBench:
 
         canned = make_report()
         monkeypatch.setattr(bench_mod, "run_benchmarks",
-                            lambda quick=False: canned)
+                            lambda quick=False, only=None: canned)
         return canned
 
     def test_bench_writes_report_and_exits_zero(self, fake_run, tmp_path,
@@ -175,3 +210,9 @@ class TestCliBench:
             main(["bench", "--tolerance", "1.5"])
         with pytest.raises(SystemExit):
             main(["bench", "--tolerance", "0"])
+
+    def test_bench_only_conflicts_with_check(self, fake_run, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        write_report(fake_run, baseline)
+        with pytest.raises(SystemExit, match="--only cannot be combined"):
+            main(["bench", "--only", "dispatch", "--check", baseline])

@@ -181,3 +181,87 @@ class TestDeterminism:
             return log
 
         assert trace_run() == trace_run()
+
+
+class TestNonFiniteDelays:
+    """NaN/inf delays must raise immediately instead of corrupting the
+    queue: ``delay < 0`` is False for NaN, so the old guard let a
+    NaN-timed entry poison the heap ordering silently."""
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), -1.0, -0.001])
+    def test_schedule_rejects_bad_delay(self, sim, delay):
+        with pytest.raises(SimulationError):
+            sim.schedule(delay, lambda: None)
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), -1.0])
+    def test_timeout_rejects_bad_delay(self, sim, delay):
+        with pytest.raises(SimulationError):
+            sim.timeout(delay)
+
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), -1.0])
+    def test_schedule_many_rejects_bad_delay(self, sim, delay):
+        with pytest.raises(SimulationError):
+            sim.schedule_many(delay, [lambda: None])
+
+    def test_queue_stays_usable_after_rejected_delay(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: seen.append("poison"))
+        sim.run()
+        assert seen == [1.0]
+
+
+class TestScheduleMany:
+    def test_runs_in_order_interleaved_with_singles(self, sim):
+        seen = []
+        sim.schedule(0.0, lambda: seen.append("a"))
+        sim.schedule_many(0.0, [lambda: seen.append("b"), lambda: seen.append("c")])
+        sim.schedule(0.0, lambda: seen.append("d"))
+        sim.run()
+        assert seen == ["a", "b", "c", "d"]
+
+    def test_future_batch_keeps_order(self, sim):
+        seen = []
+        sim.schedule_many(2.0, [lambda i=i: seen.append(i) for i in range(4)])
+        sim.schedule(1.0, lambda: seen.append("early"))
+        sim.run()
+        assert seen == ["early", 0, 1, 2, 3]
+        assert sim.now == 2.0
+
+
+class TestDispatchSampling:
+    def _dispatch_times(self, sample):
+        from repro.trace.events import SimDispatch
+        from repro.trace.tracer import Tracer, set_tracer
+
+        class ListSink:
+            def __init__(self):
+                self.events = []
+
+            def write(self, event):
+                self.events.append(event)
+
+        sink = ListSink()
+        previous = set_tracer(Tracer([sink]))
+        try:
+            sim = Simulator(trace_dispatch_sample=sample)
+            for i in range(1, 7):
+                sim.schedule(float(i), lambda: None)
+            sim.run()
+        finally:
+            set_tracer(previous)
+        return [e for e in sink.events if isinstance(e, SimDispatch)]
+
+    def test_sample_one_traces_every_dispatch(self):
+        assert len(self._dispatch_times(1)) == 6
+
+    def test_sample_zero_disables_dispatch_tracing(self):
+        assert self._dispatch_times(0) == []
+
+    def test_sample_n_traces_every_nth(self):
+        assert len(self._dispatch_times(3)) == 2
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(trace_dispatch_sample=-1)
