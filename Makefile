@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-quick bench-check bench-guards bench-soak compiled test-compiled policy-smoke serve-quick serve-soak
+.PHONY: test test-fast bench bench-quick bench-check bench-guards bench-soak compiled test-compiled policy-smoke agg-smoke serve-quick serve-soak
 
 test:            ## full tier-1 suite
 	$(PYTHON) -m pytest -x -q
@@ -46,6 +46,20 @@ policy-smoke:    ## three sharing policies on the quick staggered scenario, dige
 		p=json.load(open('policy-parallel.json')); \
 		assert s['suite_digest'] == p['suite_digest'], 'policy sweep diverged under --jobs'; \
 		print('policy smoke OK:', s['suite_digest'][:12])"
+
+agg-smoke:       ## budgeted-aggregation mix across three policies, digest-checked
+	$(PYTHON) -m repro sweep ag-mix --param sharing_policy \
+		--values grouping-throttling,cooperative,pbm \
+		--scale 0.1 --streams 2 --jobs 1 --no-cache --out agg-serial.json
+	$(PYTHON) -m repro sweep ag-mix --param sharing_policy \
+		--values grouping-throttling,cooperative,pbm \
+		--scale 0.1 --streams 2 --jobs 3 --no-cache --out agg-parallel.json
+	$(PYTHON) -c "import json; s=json.load(open('agg-serial.json')); \
+		p=json.load(open('agg-parallel.json')); \
+		assert s['suite_digest'] == p['suite_digest'], 'agg sweep diverged under --jobs'; \
+		spilled = sum(pt['metrics'].get('spilled_partitions', 0) for pt in s['experiments']); \
+		assert spilled > 0, 'agg smoke never spilled'; \
+		print('agg smoke OK:', s['suite_digest'][:12], f'({spilled:.0f} partitions spilled)')"
 
 serve-quick:     ## service-layer smoke: steady scenario, bounds asserted
 	$(PYTHON) -m repro serve-sim steady --quick --no-cache --assert-bounded

@@ -41,7 +41,7 @@ def run_mode(mode: str, speeds):
             def process(sim, cpu=cpu, delay=i * stagger):
                 yield sim.timeout(delay)
                 result = yield from manager.scan(
-                    "t", lambda p, d, cpu=cpu: cpu
+                    "t", lambda p, d, n, cpu=cpu: cpu
                 )
                 return result
             procs.append(db.sim.spawn(process(db.sim)))
@@ -51,7 +51,7 @@ def run_mode(mode: str, speeds):
             def process(sim, cpu=cpu, delay=i * stagger):
                 yield sim.timeout(delay)
                 scan = scan_cls(db, "t", 0, TABLE_PAGES - 1,
-                                on_page=lambda p, d, cpu=cpu: cpu)
+                                on_page=lambda p, d, n, cpu=cpu: cpu)
                 result = yield from scan.run()
                 return result
             procs.append(db.sim.spawn(process(db.sim)))

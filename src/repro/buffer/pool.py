@@ -62,6 +62,35 @@ class BufferPoolError(RuntimeError):
     """Raised on pin-count misuse or pool overcommit."""
 
 
+class FrameReservation:
+    """A named frame reservation held by a memory-budgeted operator.
+
+    Unlike the anonymous fault-pressure counter, a named reservation
+    tracks *who* holds the frames and can be clawed back one frame at a
+    time under pool pressure: the pool decrements :attr:`granted`,
+    increments :attr:`clawed`, and invokes ``on_clawback`` so the owner
+    can mark itself for spilling.  The callback is bookkeeping only — it
+    must not perform simulation I/O (claw-back happens inside the pool's
+    eviction path, which is not a point where an operator generator can
+    be driven).
+    """
+
+    __slots__ = ("name", "granted", "clawed", "on_clawback", "released")
+
+    def __init__(self, name: str, granted: int, on_clawback=None):
+        self.name = name
+        self.granted = granted
+        self.clawed = 0
+        self.on_clawback = on_clawback
+        self.released = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FrameReservation({self.name!r}, granted={self.granted}, "
+            f"clawed={self.clawed})"
+        )
+
+
 class PoolExhausted(BufferPoolError):
     """Every frame is pinned, reserved, or in flight: no victim exists.
 
@@ -114,10 +143,16 @@ class BufferPool:
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         self._slot_map: Dict[int, int] = {}
         self._inflight: Dict[PageKey, Event] = {}
-        # Frames reserved away by external pressure (fault injection);
-        # always 0 in clean runs, so every path below behaves exactly as
-        # if the reservation mechanism did not exist.
+        # Frames reserved away by external pressure (fault injection)
+        # plus named operator reservations; always 0 in runs that use
+        # neither, so every path below behaves exactly as if the
+        # reservation mechanism did not exist.
         self._reserved = 0
+        # Named claimants (memory-budgeted operators).  The sum of their
+        # ``granted`` counts is part of ``_reserved``; the remainder is
+        # the anonymous fault-pressure share.
+        self._claimants: List[FrameReservation] = []
+        self.clawed_back_frames = 0
 
     # ------------------------------------------------------------------
     # External pressure (fault injection)
@@ -152,12 +187,75 @@ class BufferPool:
         return granted
 
     def release_reserved(self, pages: int) -> int:
-        """Return previously reserved frames; returns how many were freed."""
+        """Return previously reserved *anonymous* frames.
+
+        Clamped to the anonymous share so a fault-pressure release can
+        never free frames a named operator reservation still holds.
+        Returns how many frames were actually freed.
+        """
         if pages < 0:
             raise BufferPoolError(f"cannot release {pages} reserved pages")
-        freed = min(pages, self._reserved)
+        anonymous = self._reserved - sum(r.granted for r in self._claimants)
+        freed = min(pages, anonymous)
         self._reserved -= freed
         return freed
+
+    # ------------------------------------------------------------------
+    # Named operator reservations (memory-budgeted operators)
+    # ------------------------------------------------------------------
+
+    def reserve_frames(
+        self, name: str, pages: int, on_clawback=None
+    ) -> FrameReservation:
+        """Grant a named, claw-backable frame reservation.
+
+        The grant is clamped exactly like :meth:`reserve`; the returned
+        :class:`FrameReservation` records how many frames the owner
+        actually holds (``granted``) and how many the pool later clawed
+        back (``clawed``).  Release with :meth:`release_frames`.
+        """
+        granted = self.reserve(pages)
+        reservation = FrameReservation(name, granted, on_clawback)
+        self._claimants.append(reservation)
+        return reservation
+
+    def release_frames(self, reservation: FrameReservation) -> int:
+        """Return every frame a named reservation still holds."""
+        if reservation.released:
+            return 0
+        reservation.released = True
+        try:
+            self._claimants.remove(reservation)
+        except ValueError:
+            return 0
+        freed = reservation.granted
+        reservation.granted = 0
+        self._reserved -= freed
+        return freed
+
+    def _claw_back_one(self) -> bool:
+        """Take one reserved frame back under pool pressure.
+
+        Named claimants are clawed first, newest first (LIFO): the most
+        recently admitted operator is the one asked to shrink, mirroring
+        how late arrivals are the first throttled elsewhere.  The
+        anonymous fault-pressure share is only touched when no claimant
+        holds frames.  Returns whether a frame was recovered.
+        """
+        if self._reserved <= 0:
+            return False
+        for reservation in reversed(self._claimants):
+            if reservation.granted > 0:
+                reservation.granted -= 1
+                reservation.clawed += 1
+                self._reserved -= 1
+                self.clawed_back_frames += 1
+                if reservation.on_clawback is not None:
+                    reservation.on_clawback(reservation)
+                return True
+        self._reserved -= 1
+        self.clawed_back_frames += 1
+        return True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -508,10 +606,10 @@ class BufferPool:
                 # outstanding read to land, then re-plan.
                 yield next(iter(self._inflight.values()))
                 continue
-            if self._reserved > 0:
-                # Everything usable is pinned but external pressure holds
-                # frames: claw one back rather than wedging the scan.
-                self._reserved -= 1
+            if self._claw_back_one():
+                # Everything usable is pinned but reservations hold
+                # frames: claw one back (named claimants first) rather
+                # than wedging the scan.
                 continue
             raise PoolExhausted(
                 f"bufferpool {self.name} overcommitted: all "

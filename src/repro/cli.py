@@ -199,6 +199,10 @@ def _add_settings_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--push", action="store_true",
                         help="enable the leader-driven push prefetch "
                              "pipeline (default: classic pull)")
+    parser.add_argument("--agg-strategy", default="hash",
+                        choices=("hash", "sort"),
+                        help="spill strategy for memory-budgeted "
+                             "aggregation (ag-*/mj-* experiments)")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="fault spec or builtin plan name (e.g. "
                              "'leader-abort' or 'disk-delay:factor=4')")
@@ -307,6 +311,7 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
         device_count=device_count,
         stripe_extents=stripe_extents,
         push_prefetch=bool(getattr(args, "push", False)),
+        agg_strategy=getattr(args, "agg_strategy", "hash"),
         sharing_overrides=sharing_overrides,
         fault_spec=fault_spec,
     )

@@ -28,6 +28,21 @@ class CostModel:
     agg_units: float = 2.0
     #: Units per row for group-key hashing when grouping.
     group_key_units: float = 3.0
+    #: Units per row for the NaN inspection ``count(expr)`` performs.
+    count_nonnull_units: float = 0.3
+    #: Units per temp page serialized when a budgeted operator spills.
+    spill_write_units_per_page: float = 40.0
+    #: Units per temp page deserialized when spilled state is read back.
+    spill_read_units_per_page: float = 30.0
+    #: Units per group merged back from a spilled partition or run.
+    spill_merge_units: float = 2.5
+    #: Units per group per comparison level when the sort-based
+    #: aggregation strategy sorts an in-memory run before spilling it.
+    sort_run_units: float = 1.2
+    #: Units per probe-side row looked up in a join hash table.
+    join_probe_units: float = 2.0
+    #: Units per build-side row inserted into a join hash table.
+    join_build_units: float = 3.0
 
     def __post_init__(self) -> None:
         if self.unit_seconds <= 0:

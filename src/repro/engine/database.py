@@ -69,6 +69,15 @@ class SystemConfig:
     io_syscall_cpu: float = 20e-6
     #: CPU cost of one sharing-manager call (the paper's sub-1 % overhead).
     manager_call_overhead_cpu: float = 2e-6
+    #: Spill strategy for memory-budgeted aggregation: ``hash`` evicts
+    #: one hash partition at a time, ``sort`` sorts the whole in-memory
+    #: table into a run (the external sort-aggregate shape).  Only
+    #: queries that set a budget are affected.
+    agg_strategy: str = "hash"
+    #: Pages of simulated temp space for operator spills.  The region is
+    #: carved out of the shared device lazily, on the first spill, so
+    #: spill-free runs are byte-identical to builds without temp space.
+    temp_space_pages: int = 4096
     extent_size: int = 16
     seed: int = 42
     #: Record every scan's visited page order (costs memory; used by the
@@ -116,6 +125,19 @@ class SystemConfig:
                 f"trace_dispatch_sample must be >= 0, "
                 f"got {self.trace_dispatch_sample}"
             )
+        # Imported here (not at module top) to keep database <-> spill
+        # free of an import cycle.
+        from repro.engine.spill import AGG_STRATEGIES
+
+        if self.agg_strategy not in AGG_STRATEGIES:
+            raise ValueError(
+                f"unknown agg_strategy {self.agg_strategy!r}; "
+                f"known: {AGG_STRATEGIES}"
+            )
+        if self.temp_space_pages < 1:
+            raise ValueError(
+                f"temp_space_pages must be >= 1, got {self.temp_space_pages}"
+            )
 
 
 class Database:
@@ -157,6 +179,7 @@ class Database:
         self._sharing: Optional[SharingPolicy] = None
         self._push: Optional[PushPipeline] = None
         self.faults: Optional[FaultInjector] = None
+        self._temp = None
         self._block_indexes: dict = {}
         self._index_managers: dict = {}
 
@@ -255,6 +278,21 @@ class Database:
     def sharing_enabled(self) -> bool:
         """Whether the sharing mechanism is active."""
         return self.config.sharing.enabled
+
+    @property
+    def temp(self):
+        """Simulated temp space for operator spills (lazily created).
+
+        The :class:`~repro.engine.memory.TempSpace` object itself is
+        cheap; its tablespace region is only carved out on the first
+        actual spill, so runs that never spill leave the disk layout —
+        and every digest — untouched.
+        """
+        if self._temp is None:
+            from repro.engine.memory import TempSpace
+
+            self._temp = TempSpace(self, self.config.temp_space_pages)
+        return self._temp
 
     # ------------------------------------------------------------------
     # Block indexes (MDC-style; used by index-scan query steps)

@@ -22,6 +22,9 @@ class StepResult:
     label: str
     scan: ScanResult
     values: object
+    #: Reservation/spill counters for memory-budgeted steps; None for
+    #: classic steps.
+    operator_stats: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -62,6 +65,17 @@ class QueryResult:
             for index, step in enumerate(self.steps)
         }
 
+    def operator_stats(self) -> Dict[str, float]:
+        """Summed reservation/spill counters over budgeted steps."""
+        totals: Dict[str, float] = {}
+        for step in self.steps:
+            if not step.operator_stats:
+                continue
+            for key, value in step.operator_stats.items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
 
 @dataclass
 class StreamResult:
@@ -90,12 +104,17 @@ def execute_query(
         tracer.emit(QueryStarted(
             time=result.started_at, stream_id=stream_id, query=spec.name,
         ))
+    # Join state threaded between a build step and its probe step(s):
+    # the built hash table, the sink (for sizing), and the still-held
+    # frame reservation the probe passes run under.
+    join_state: Dict[str, object] = {}
     for index, step in enumerate(spec.steps):
         for repeat in range(step.repeats):
-            step_result = yield from _execute_step(db, step, index)
+            step_result = yield from _execute_step(db, step, index, join_state)
             if step.repeats > 1:
                 step_result.label = f"{step_result.label}#{repeat}"
             result.steps.append(step_result)
+    _release_join_state(join_state)
     result.finished_at = db.sim.now
     tracer = get_tracer()
     if tracer.enabled:
@@ -118,12 +137,42 @@ def execute_query(
     return result
 
 
-def _execute_step(db: Database, step: ScanStep, index: int) -> Generator:
-    if step.via_index:
-        return (yield from _execute_index_step(db, step, index))
-    table = db.catalog.table(step.table)
-    first_page, last_page = step.page_range(table)
-    pipeline = step.build_pipeline(db.cost)
+def _terminal_operator(pipeline):
+    """The pipeline's terminal (sink) operator."""
+    op = pipeline.entry
+    while op.downstream is not None:
+        op = op.downstream
+    return op
+
+
+def _release_join_state(join_state: Dict[str, object]) -> None:
+    """Return any frames a join still holds (end-of-query safety net)."""
+    memory = join_state.pop("memory", None)
+    if memory is not None:
+        memory.release()
+    join_state.clear()
+
+
+def _negotiate_memory(db: Database, step: ScanStep, label: str, kind: str):
+    """Reserve frames for a budgeted step; None for classic steps."""
+    from repro.engine.memory import OperatorMemory
+    from repro.engine.planner import resolve_budget_pages
+
+    requested = (
+        step.join_budget_pages if kind == "join" else step.agg_budget_pages
+    )
+    if requested is None:
+        return None
+    budget = resolve_budget_pages(requested, db.pool.capacity)
+    memory = OperatorMemory(db, f"{kind}[{label}]", budget)
+    memory.negotiate()
+    return memory
+
+
+def _run_step_scan(
+    db: Database, step: ScanStep, pipeline, table, first_page, last_page
+) -> Generator:
+    """Run one physical scan feeding ``pipeline``; returns its result."""
     # A sharing scan may start mid-range and wrap, so a step that needs
     # rows in physical order must use the vanilla operator (paper §4.1).
     if db.sharing_enabled and not step.requires_order:
@@ -142,9 +191,130 @@ def _execute_step(db: Database, step: ScanStep, index: int) -> Generator:
             on_page=pipeline.process_page,
             record_visits=db.config.record_page_visits,
         )
-    scan_result = yield from scan.run()
+    result = yield from scan.run()
+    return result
+
+
+def _execute_step(
+    db: Database,
+    step: ScanStep,
+    index: int,
+    join_state: Optional[Dict[str, object]] = None,
+) -> Generator:
+    if step.via_index:
+        return (yield from _execute_index_step(db, step, index))
+    if join_state is None:
+        join_state = {}
+    label = step.label or f"step{index}"
+    table = db.catalog.table(step.table)
+    first_page, last_page = step.page_range(table)
+    if step.join_probe_key is not None:
+        return (
+            yield from _execute_probe_step(
+                db, step, label, table, first_page, last_page, join_state
+            )
+        )
+    memory = None
+    if step.join_build_key is not None:
+        # A fresh build releases whatever a previous join left behind.
+        _release_join_state(join_state)
+        memory = _negotiate_memory(db, step, label, "join")
+    else:
+        memory = _negotiate_memory(db, step, label, "agg")
+    pipeline = step.build_pipeline(
+        db.cost, memory=memory, agg_strategy=db.config.agg_strategy
+    )
+    scan_result = yield from _run_step_scan(
+        db, step, pipeline, table, first_page, last_page
+    )
+    if pipeline.needs_finalize:
+        # Spilled state merges back here — temp reads and merge CPU land
+        # on the simulated clock after the scan itself finished.
+        yield from pipeline.finalize(db)
+    values = pipeline.result()
+    operator_stats = None
+    terminal = _terminal_operator(pipeline)
+    if memory is not None:
+        operator_stats = dict(memory.stats())
+        spill = getattr(terminal, "spill", None)
+        if spill is not None:
+            operator_stats.update(spill.as_dict())
+    if step.join_build_key is not None:
+        # Keep the reservation: probe passes run under it (and compete
+        # with scans for the remaining frames).  Released after probing.
+        join_state["table"] = values
+        join_state["sink"] = terminal
+        join_state["memory"] = memory
+    elif memory is not None:
+        memory.release()
     return StepResult(
-        label=step.label or f"step{index}", scan=scan_result, values=pipeline.result()
+        label=label, scan=scan_result, values=values,
+        operator_stats=operator_stats,
+    )
+
+
+def _execute_probe_step(
+    db: Database,
+    step: ScanStep,
+    label: str,
+    table,
+    first_page: int,
+    last_page: int,
+    join_state: Dict[str, object],
+) -> Generator:
+    """Run the probe side of a join as one or more multibuffer passes.
+
+    When the build table needs more frames than the join's reservation
+    holds, the probe range is scanned once per chunk — the multibuffer
+    trade of extra probe I/O for bounded memory.  Each pass counts
+    matches only for its chunk's keys, so the summed counts equal the
+    single-pass join result exactly.
+    """
+    from repro.engine.spill import chunk_factor
+
+    build_table = join_state.get("table") or {}
+    sink = join_state.get("sink")
+    memory = join_state.get("memory")
+    pages_needed = sink.pages_needed if sink is not None else 0
+    granted = memory.pages if memory is not None else 1
+    n_chunks = chunk_factor(pages_needed, max(1, granted))
+    combined_scan: Optional[ScanResult] = None
+    rows_probed = 0
+    matches = 0
+    for chunk_id in range(n_chunks):
+        pipeline = step.build_pipeline(
+            db.cost, join_table=build_table, chunk=(chunk_id, n_chunks)
+        )
+        scan_result = yield from _run_step_scan(
+            db, step, pipeline, table, first_page, last_page
+        )
+        chunk_values = pipeline.result()
+        rows_probed += chunk_values["rows_probed"]
+        matches += chunk_values["matches"]
+        if combined_scan is None:
+            combined_scan = scan_result
+        else:
+            combined_scan.pages_scanned += scan_result.pages_scanned
+            combined_scan.rows_seen += scan_result.rows_seen
+            combined_scan.cpu_seconds += scan_result.cpu_seconds
+            combined_scan.throttle_seconds += scan_result.throttle_seconds
+            combined_scan.finished_at = scan_result.finished_at
+    operator_stats: Dict[str, object] = {
+        "join_chunks": n_chunks,
+        "build_pages_needed": pages_needed,
+    }
+    if memory is not None:
+        operator_stats.update(memory.stats())
+    if sink is not None and getattr(sink, "spill", None) is not None:
+        operator_stats.update(sink.spill.as_dict())
+    _release_join_state(join_state)
+    assert combined_scan is not None
+    return StepResult(
+        label=label,
+        scan=combined_scan,
+        values={"rows_probed": rows_probed, "matches": matches,
+                "chunks": n_chunks},
+        operator_stats=operator_stats,
     )
 
 

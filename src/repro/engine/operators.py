@@ -21,6 +21,36 @@ from repro.storage.datagen import PageData
 
 _AGG_FUNCS = ("sum", "count", "min", "max", "avg")
 
+#: The one NaN object used in canonical group keys.  ``nan != nan``, so
+#: NaN keys built from fresh float objects split into one group per
+#: batch; routing every NaN through this single object makes tuple keys
+#: compare equal (tuple comparison short-circuits on identity) and hash
+#: consistently.
+_CANONICAL_NAN = float("nan")
+
+
+def _canonical_key_column(values: np.ndarray) -> List:
+    """Python-scalar view of one group-key column.
+
+    ``tolist`` strips numpy scalar types (a ``np.int64`` key in one
+    batch and a Python ``int`` in another would still compare equal, but
+    mixed-object tuples defeat dict-key identity shortcuts and confuse
+    downstream consumers), and float/object columns get their NaNs
+    replaced by the shared :data:`_CANONICAL_NAN`.
+    """
+    items = values.tolist() if hasattr(values, "tolist") else list(values)
+    kind = getattr(getattr(values, "dtype", None), "kind", None)
+    if kind in ("f", "O"):
+        return [_CANONICAL_NAN if v != v else v for v in items]
+    return items
+
+
+def _count_non_nan(values: np.ndarray) -> int:
+    """Row count excluding NaN inputs (SQL ``count(expr)`` semantics)."""
+    if getattr(values.dtype, "kind", None) == "f":
+        return int(values.shape[0] - np.count_nonzero(np.isnan(values)))
+    return int(values.shape[0])
+
 
 @dataclass(frozen=True)
 class AggSpec:
@@ -194,16 +224,21 @@ class GroupByAggregate(Operator):
                     values = np.broadcast_to(values, (n_rows,))
                 inputs.append(values)
                 units += n_rows * agg.expr.cost_units_per_row
+                if agg.func == "count":
+                    # count(expr) inspects each value for NaN.
+                    units += n_rows * self.cost.count_nonnull_units
         if not self.group_by:
             self._accumulate((), inputs, None, n_rows)
             return units
         units += n_rows * self.cost.group_key_units
-        key_columns = [data[name] for name in self.group_by]
+        key_columns = [
+            _canonical_key_column(data[name]) for name in self.group_by
+        ]
         # Partition rows by composite key.
         keys = list(zip(*key_columns))
         order: Dict[Tuple, List[int]] = {}
         for row_index, key in enumerate(keys):
-            order.setdefault(tuple(key), []).append(row_index)
+            order.setdefault(key, []).append(row_index)
         for key, row_indexes in order.items():
             idx = np.asarray(row_indexes)
             sliced = [None if arr is None else arr[idx] for arr in inputs]
@@ -220,7 +255,8 @@ class GroupByAggregate(Operator):
         acc = self._groups.setdefault(key, {})
         for agg, values in zip(self.aggregates, inputs):
             if agg.func == "count":
-                acc[agg.name] = acc.get(agg.name, 0) + n_rows
+                counted = n_rows if values is None else _count_non_nan(values)
+                acc[agg.name] = acc.get(agg.name, 0) + counted
                 continue
             assert values is not None
             if agg.func in ("sum", "avg"):
@@ -292,9 +328,20 @@ class Pipeline:
         self.pages = 0
         self.rows = 0
 
-    def process_page(self, page_no: int, data: PageData) -> float:
-        """Push one page; returns CPU seconds to charge."""
-        n_rows = len(next(iter(data.values())))
+    def process_page(
+        self, page_no: int, data: PageData, n_rows: Optional[int] = None
+    ) -> float:
+        """Push one page of ``n_rows`` rows; returns CPU seconds to charge.
+
+        Scans pass ``n_rows`` explicitly (the schema's rows-per-page);
+        inferring it from a column would crash on pages that projection
+        pushdown compacted to zero columns (``required_columns() ==
+        frozenset()``), so the inference below is only a fallback for
+        legacy two-argument callers.
+        """
+        if n_rows is None:
+            first = next(iter(data.values()), None)
+            n_rows = 0 if first is None else len(first)
         units = self.entry.push(data, n_rows)
         units += self.cost.per_page_units
         units += n_rows * self.extra_units_per_row
@@ -320,10 +367,46 @@ class Pipeline:
                 for agg in op.aggregates:
                     if agg.expr is not None:
                         units += survivors * agg.expr.cost_units_per_row
+                        if agg.func == "count":
+                            # Mirror the per-row NaN inspection charged in
+                            # push, so the speed estimate does not drift.
+                            units += survivors * self.cost.count_nonnull_units
                 if op.group_by:
                     units += survivors * self.cost.group_key_units
+            else:
+                # Operators defined outside this module (join sinks and
+                # probes) advertise their per-row cost via a duck-typed
+                # hook, keeping this module import-cycle free.
+                estimate = getattr(op, "estimate_units_per_row", None)
+                if estimate is not None:
+                    units += survivors * estimate()
             op = op.downstream
         return units
+
+    @property
+    def needs_finalize(self) -> bool:
+        """Whether any operator has post-scan simulated work to drive."""
+        op: Optional[Operator] = self.entry
+        while op is not None:
+            if getattr(op, "finalize_sim", None) is not None:
+                return True
+            op = op.downstream
+        return False
+
+    def finalize(self, db) -> "object":
+        """Drive every operator's post-scan work (a simulation generator).
+
+        Memory-budgeted operators merge spilled partitions here — temp
+        reads and merge CPU are charged on the simulated clock, after
+        the scan itself has finished.  Classic pipelines have nothing to
+        do and the generator yields no events.
+        """
+        op: Optional[Operator] = self.entry
+        while op is not None:
+            finalize_sim = getattr(op, "finalize_sim", None)
+            if finalize_sim is not None:
+                yield from finalize_sim(db)
+            op = op.downstream
 
     def result(self) -> object:
         """Finalize the terminal operator."""

@@ -134,3 +134,20 @@ def plan_query(spec: QuerySpec, catalog: Catalog) -> QuerySpec:
     """Apply :func:`plan_step` to every step of a query."""
     planned = tuple(plan_step(step, catalog) for step in spec.steps)
     return replace(spec, steps=planned)
+
+
+def resolve_budget_pages(requested: Optional[int], pool_capacity: int) -> int:
+    """Turn a step's budget request into a concrete frame count.
+
+    ``-1`` (auto) asks for a quarter of the pool — enough to matter,
+    small enough that several budgeted operators plus the scans' working
+    set coexist.  Explicit requests are honored up to what a reservation
+    could ever grant (the pool keeps ``MIN_USABLE_FRAMES`` for itself);
+    the pool may still grant less when other reservations exist.
+    """
+    from repro.buffer.pool import BufferPool
+
+    ceiling = max(1, pool_capacity - BufferPool.MIN_USABLE_FRAMES)
+    if requested is None or requested == -1:
+        return max(1, min(ceiling, pool_capacity // 4))
+    return max(1, min(ceiling, requested))

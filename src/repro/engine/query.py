@@ -65,6 +65,23 @@ class ScanStep:
     #: exactly the repeated-scan case the paper's last-finished placement
     #: (and the sequel's "scan D in the future") exploits.
     repeats: int = 1
+    #: Frame budget for the terminal aggregation.  ``None`` keeps the
+    #: classic unbudgeted operator; ``-1`` asks the planner for an
+    #: automatic budget; a positive value requests that many frames.
+    #: Budgeted aggregation negotiates a claw-backable bufferpool
+    #: reservation and spills to temp space under pressure.
+    agg_budget_pages: Optional[int] = None
+    #: Build the hash table of a join on this column (the step becomes a
+    #: join build side; a later step in the same query probes it).
+    join_build_key: Optional[str] = None
+    #: Probe the previously built join hash table on this column.  When
+    #: the build side outgrew the join's frame grant, the executor runs
+    #: this scan once per multibuffer chunk.
+    join_probe_key: Optional[str] = None
+    #: Frame budget for the join (build table + probe working set);
+    #: same conventions as ``agg_budget_pages``.  Only meaningful on the
+    #: build step — probe passes reuse the build step's reservation.
+    join_budget_pages: Optional[int] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -76,6 +93,20 @@ class ScanStep:
             raise ValueError(
                 f"step on {self.table!r}: repeats must be >= 1, got {self.repeats}"
             )
+        if self.join_build_key is not None and self.join_probe_key is not None:
+            raise ValueError(
+                f"step on {self.table!r}: a step is either a join build or a "
+                f"join probe, not both"
+            )
+        for name, value in (
+            ("agg_budget_pages", self.agg_budget_pages),
+            ("join_budget_pages", self.join_budget_pages),
+        ):
+            if value is not None and value == 0:
+                raise ValueError(
+                    f"step on {self.table!r}: {name} must be positive or -1 "
+                    f"(auto), got {value}"
+                )
 
     def page_range(self, table: Table) -> Tuple[int, int]:
         """Resolve this step's inclusive page range on ``table``."""
@@ -87,10 +118,53 @@ class ScanStep:
             return table.pages_for_fraction(*self.fraction)
         return (0, table.n_pages - 1)
 
-    def build_pipeline(self, cost: CostModel) -> Pipeline:
-        """Construct a fresh pipeline for one execution of this step."""
-        aggregates = self.aggregates or (AggSpec("rows", "count"),)
-        terminal = GroupByAggregate(aggregates, cost, group_by=self.group_by)
+    def build_pipeline(
+        self,
+        cost: CostModel,
+        memory=None,
+        agg_strategy: str = "hash",
+        join_table=None,
+        chunk: Tuple[int, int] = (0, 1),
+    ) -> Pipeline:
+        """Construct a fresh pipeline for one execution of this step.
+
+        With only ``cost`` given (the planner's estimation path and
+        every pre-existing call site) the classic unbudgeted pipeline is
+        built.  The executor passes ``memory`` (a negotiated
+        :class:`~repro.engine.memory.OperatorMemory`) to get the
+        budgeted spillable terminal instead, ``join_table`` + ``chunk``
+        for probe passes, and ``agg_strategy`` to pick the hash or sort
+        spill flavor.
+        """
+        terminal: object
+        if self.join_build_key is not None:
+            from repro.engine.spill import HashBuildSink
+
+            terminal = HashBuildSink(self.join_build_key, cost, memory=memory)
+        elif self.join_probe_key is not None:
+            from repro.engine.spill import HashProbe
+
+            terminal = HashProbe(
+                self.join_probe_key, cost,
+                build_table=join_table if join_table is not None else {},
+                chunk=chunk,
+            )
+        else:
+            aggregates = self.aggregates or (AggSpec("rows", "count"),)
+            if memory is not None and self.agg_budget_pages is not None:
+                from repro.engine.spill import BudgetedGroupBy, SortSpillGroupBy
+
+                op_class = (
+                    SortSpillGroupBy if agg_strategy == "sort"
+                    else BudgetedGroupBy
+                )
+                terminal = op_class(
+                    aggregates, cost, memory, group_by=self.group_by
+                )
+            else:
+                terminal = GroupByAggregate(
+                    aggregates, cost, group_by=self.group_by
+                )
         if self.predicate is not None:
             entry = Filter(self.predicate, terminal, cost)
         else:

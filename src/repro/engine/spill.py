@@ -1,0 +1,380 @@
+"""Memory-budgeted, spillable operators.
+
+These terminal operators work within an :class:`~repro.engine.memory.\
+OperatorMemory` frame budget negotiated with the bufferpool, instead of
+the classic operators' implicit infinite workspace.  When their state
+outgrows the granted frames — or when the pool *claws frames back* under
+scan pressure — they shed state to simulated temp space and merge it
+back in the pipeline's finalize phase, after the feeding scan ends.
+
+Determinism rules (the whole experiment stack depends on them):
+
+* partition selection uses ``zlib.crc32`` over the key's ``repr`` —
+  never the builtin ``hash``, which is salted per process;
+* the spill victim is always the largest partition, ties broken by the
+  lowest partition id;
+* sort runs order groups by ``repr(key)``, a total order even when keys
+  contain NaN.
+
+The capacity model is deliberately coarse: a frame holds
+:data:`GROUPS_PER_PAGE` group accumulators or :data:`KEYS_PER_PAGE`
+join-hash entries.  What matters for the simulation is not the exact
+constant but that state size maps *monotonically* to frames, so budget
+cuts translate into spill I/O on the shared disk.
+"""
+
+from __future__ import annotations
+
+import zlib
+from math import ceil, log2
+from typing import Dict, FrozenSet, Generator, List, Optional, Sequence, Tuple
+
+from repro.engine.costs import CostModel
+from repro.engine.memory import OperatorMemory
+from repro.engine.operators import (
+    AggSpec,
+    GroupByAggregate,
+    Operator,
+    _canonical_key_column,
+)
+from repro.storage.datagen import PageData
+
+#: Group accumulators per bufferpool-sized frame (hash aggregation).
+GROUPS_PER_PAGE = 64
+#: Join-hash entries per frame (key + row count payload).
+KEYS_PER_PAGE = 128
+#: Hash-aggregation fan-out: in-memory groups are bucketed into this
+#: many partitions; spills evict one partition at a time.
+N_PARTITIONS = 8
+
+#: Valid values for the ``agg_strategy`` knob.
+AGG_STRATEGIES = ("hash", "sort")
+
+
+def partition_of(key: object, n_partitions: int) -> int:
+    """Deterministic partition for a group/join key.
+
+    ``repr`` of canonicalized Python scalars is stable across processes;
+    ``zlib.crc32`` is an unsalted fixed function — together they make
+    partitioning reproducible where builtin ``hash`` would not be.
+    """
+    return zlib.crc32(repr(key).encode()) % n_partitions
+
+
+def chunk_factor(pages_needed: int, pages_granted: int) -> int:
+    """Multibuffer pass count: probe scans needed to cover a build side
+    of ``pages_needed`` frames with ``pages_granted`` frames of memory."""
+    if pages_needed <= 0:
+        return 1
+    return max(1, ceil(pages_needed / max(1, pages_granted)))
+
+
+def _charge_cpu(db, seconds: float) -> Generator:
+    """Acquire a core and burn ``seconds`` of simulated CPU."""
+    if seconds > 0:
+        yield db.cpu.acquire()
+        try:
+            yield db.sim.timeout(seconds)
+        finally:
+            db.cpu.release()
+
+
+class SpillStats:
+    """Counters every budgeted operator exposes to reports."""
+
+    __slots__ = (
+        "spill_events", "spilled_partitions", "spilled_groups",
+        "spill_pages_written", "spill_pages_read", "peak_state",
+        "merged_groups",
+    )
+
+    def __init__(self) -> None:
+        self.spill_events = 0
+        self.spilled_partitions = 0
+        self.spilled_groups = 0
+        self.spill_pages_written = 0
+        self.spill_pages_read = 0
+        self.peak_state = 0
+        self.merged_groups = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "spill_events": self.spill_events,
+            "spilled_partitions": self.spilled_partitions,
+            "spilled_groups": self.spilled_groups,
+            "spill_pages_written": self.spill_pages_written,
+            "spill_pages_read": self.spill_pages_read,
+            "peak_state": self.peak_state,
+            "merged_groups": self.merged_groups,
+        }
+
+
+class BudgetedGroupBy(GroupByAggregate):
+    """Hash aggregation under a frame budget (the ``hash`` strategy).
+
+    Behaves exactly like :class:`GroupByAggregate` until the in-memory
+    group table outgrows ``memory.pages`` frames (or the pool claws
+    frames back): it then spills the largest hash partition to temp
+    space and keeps going.  Spilled partitions are read back and merged
+    in :meth:`finalize_sim`, so results are always identical to the
+    unbudgeted operator — only the simulated cost differs.
+    """
+
+    def __init__(
+        self,
+        aggregates: Sequence[AggSpec],
+        cost: CostModel,
+        memory: OperatorMemory,
+        group_by: Sequence[str] = (),
+    ):
+        super().__init__(aggregates, cost, group_by=group_by)
+        self.memory = memory
+        self.spill = SpillStats()
+        # Spilled runs: (address, n_pages, groups payload).  The payload
+        # stays in host memory — the simulation models the I/O, not the
+        # bytes — but it is *removed* from the live table, so accumulator
+        # state genuinely shrinks and later batches re-create groups.
+        self._runs: List[Tuple[int, int, Dict[Tuple, Dict[str, float]]]] = []
+
+    def _pages_for(self, n_groups: int) -> int:
+        return ceil(n_groups / GROUPS_PER_PAGE) if n_groups else 0
+
+    def push(self, data: PageData, n_rows: int) -> float:
+        units = super().push(data, n_rows)
+        self.spill.peak_state = max(self.spill.peak_state, len(self._groups))
+        while self._groups and (
+            self.memory.spill_requested
+            or self._pages_for(len(self._groups)) > max(1, self.memory.pages)
+        ):
+            units += self._spill_one_partition()
+        return units
+
+    def _spill_one_partition(self) -> float:
+        """Evict the largest partition to temp space; returns CPU units."""
+        buckets: Dict[int, List[Tuple]] = {}
+        for key in self._groups:
+            buckets.setdefault(partition_of(key, N_PARTITIONS), []).append(key)
+        victim = max(buckets, key=lambda pid: (len(buckets[pid]), -pid))
+        keys = buckets[victim]
+        payload = {key: self._groups.pop(key) for key in keys}
+        n_pages = self._pages_for(len(payload))
+        addr = self.memory.spill_out(n_pages)
+        self._runs.append((addr, n_pages, payload))
+        self.spill.spill_events += 1
+        self.spill.spilled_partitions += 1
+        self.spill.spilled_groups += len(payload)
+        self.spill.spill_pages_written += n_pages
+        return n_pages * self.cost.spill_write_units_per_page
+
+    def _merge_payload(self, payload: Dict[Tuple, Dict[str, float]]) -> None:
+        groups = self._groups
+        for key, src in payload.items():
+            dst = groups.setdefault(key, {})
+            for agg in self.aggregates:
+                if agg.func == "count":
+                    if agg.name in src:
+                        dst[agg.name] = dst.get(agg.name, 0) + src[agg.name]
+                elif agg.func in ("sum", "avg"):
+                    sum_key, count_key = f"{agg.name}__sum", f"{agg.name}__count"
+                    if sum_key in src:
+                        dst[sum_key] = dst.get(sum_key, 0.0) + src[sum_key]
+                        dst[count_key] = dst.get(count_key, 0) + src[count_key]
+                elif agg.name in src:
+                    current = dst.get(agg.name)
+                    merged = src[agg.name]
+                    if current is not None:
+                        merged = (
+                            min(current, merged) if agg.func == "min"
+                            else max(current, merged)
+                        )
+                    dst[agg.name] = merged
+            self.spill.merged_groups += 1
+
+    def finalize_sim(self, db) -> Generator:
+        """Post-scan merge: wait out spill writes, read runs back, merge.
+
+        The merge phase processes one run at a time (a real hash agg
+        would recursively partition; one level is enough for the cost
+        model) and charges temp-read I/O plus per-group merge CPU on the
+        simulated clock.
+        """
+        yield from self.memory.drain()
+        runs, self._runs = self._runs, []
+        for addr, n_pages, payload in runs:
+            yield from self.memory.read_back(addr, n_pages)
+            self.spill.spill_pages_read += n_pages
+            units = (
+                n_pages * self.cost.spill_read_units_per_page
+                + len(payload) * self.cost.spill_merge_units
+            )
+            yield from _charge_cpu(db, self.cost.seconds(units))
+            self._merge_payload(payload)
+
+
+class SortSpillGroupBy(BudgetedGroupBy):
+    """Sort-based aggregation fallback (the ``sort`` strategy).
+
+    Instead of evicting one hash partition, an overflow sorts the whole
+    in-memory table by key (charging ``n·log₂n`` comparison units) and
+    spills it as one sorted run — the classic external sort-aggregate
+    shape.  Runs merge back in the finalize phase like the hash variant.
+    """
+
+    def _spill_one_partition(self) -> float:
+        n_groups = len(self._groups)
+        # Total order even for NaN-bearing keys: sort by repr.
+        ordered = sorted(self._groups.items(), key=lambda kv: repr(kv[0]))
+        payload = dict(ordered)
+        self._groups.clear()
+        n_pages = self._pages_for(n_groups)
+        addr = self.memory.spill_out(n_pages)
+        self._runs.append((addr, n_pages, payload))
+        self.spill.spill_events += 1
+        self.spill.spilled_partitions += 1
+        self.spill.spilled_groups += n_groups
+        self.spill.spill_pages_written += n_pages
+        sort_units = n_groups * max(1.0, log2(max(2, n_groups))) * (
+            self.cost.sort_run_units
+        )
+        return n_pages * self.cost.spill_write_units_per_page + sort_units
+
+
+class HashBuildSink(Operator):
+    """Terminal build side of a budgeted hash join.
+
+    Collects per-key row counts into a hash table bounded by the
+    operator's frame budget; overflow spills the largest partition.
+    ``finish()`` (after :meth:`finalize_sim` merged every spill back)
+    returns the complete ``key -> build row count`` table the probe side
+    consumes.
+    """
+
+    def __init__(self, key_column: str, cost: CostModel,
+                 memory: Optional[OperatorMemory] = None):
+        super().__init__(None)
+        self.key_column = key_column
+        self.cost = cost
+        self.memory = memory
+        self.table: Dict[object, int] = {}
+        self.rows_in = 0
+        self.spill = SpillStats()
+        self._runs: List[Tuple[int, int, Dict[object, int]]] = []
+
+    def required_columns(self) -> Optional[FrozenSet[str]]:
+        return frozenset((self.key_column,))
+
+    def estimate_units_per_row(self) -> float:
+        """Static per-row cost for scan-speed estimation."""
+        return self.cost.join_build_units
+
+    def _pages_for(self, n_keys: int) -> int:
+        return ceil(n_keys / KEYS_PER_PAGE) if n_keys else 0
+
+    @property
+    def pages_needed(self) -> int:
+        """Frames the complete build table occupies (post-merge)."""
+        total = len(self.table) + sum(len(p) for _, _, p in self._runs)
+        return self._pages_for(total)
+
+    def push(self, data: PageData, n_rows: int) -> float:
+        if n_rows == 0:
+            return 0.0
+        units = n_rows * self.cost.join_build_units
+        table = self.table
+        for key in _canonical_key_column(data[self.key_column]):
+            table[key] = table.get(key, 0) + 1
+        self.rows_in += n_rows
+        self.spill.peak_state = max(self.spill.peak_state, len(table))
+        if self.memory is not None:
+            while table and (
+                self.memory.spill_requested
+                or self._pages_for(len(table)) > max(1, self.memory.pages)
+            ):
+                units += self._spill_one_partition()
+        return units
+
+    def _spill_one_partition(self) -> float:
+        buckets: Dict[int, List[object]] = {}
+        for key in self.table:
+            buckets.setdefault(partition_of(key, N_PARTITIONS), []).append(key)
+        victim = max(buckets, key=lambda pid: (len(buckets[pid]), -pid))
+        payload = {key: self.table.pop(key) for key in buckets[victim]}
+        n_pages = self._pages_for(len(payload))
+        addr = self.memory.spill_out(n_pages)
+        self._runs.append((addr, n_pages, payload))
+        self.spill.spill_events += 1
+        self.spill.spilled_partitions += 1
+        self.spill.spilled_groups += len(payload)
+        self.spill.spill_pages_written += n_pages
+        return n_pages * self.cost.spill_write_units_per_page
+
+    def finalize_sim(self, db) -> Generator:
+        """Read spilled build partitions back and merge their counts."""
+        if self.memory is None:
+            return
+        yield from self.memory.drain()
+        runs, self._runs = self._runs, []
+        for addr, n_pages, payload in runs:
+            yield from self.memory.read_back(addr, n_pages)
+            self.spill.spill_pages_read += n_pages
+            units = (
+                n_pages * self.cost.spill_read_units_per_page
+                + len(payload) * self.cost.spill_merge_units
+            )
+            yield from _charge_cpu(db, self.cost.seconds(units))
+            for key, count in payload.items():
+                self.table[key] = self.table.get(key, 0) + count
+                self.spill.merged_groups += 1
+
+    def finish(self) -> object:
+        return self.table
+
+
+class HashProbe(Operator):
+    """Terminal probe side of a multibuffer hash join.
+
+    A probe pass covers one *chunk* of the build table: when the build
+    side needs more frames than the join was granted, the executor runs
+    ``n_chunks`` full probe scans (the multibuffer trade — extra probe
+    I/O instead of extra memory) and each pass counts matches only for
+    the keys in its chunk.  Chunk membership uses the same deterministic
+    CRC partitioning as spilling, so the per-chunk match counts sum to
+    exactly the single-pass total.
+    """
+
+    def __init__(self, key_column: str, cost: CostModel,
+                 build_table: Dict[object, int],
+                 chunk: Tuple[int, int] = (0, 1)):
+        super().__init__(None)
+        self.key_column = key_column
+        self.cost = cost
+        self.build_table = build_table
+        self.chunk_id, self.n_chunks = chunk
+        if not 0 <= self.chunk_id < self.n_chunks:
+            raise ValueError(f"bad chunk {chunk}")
+        self.rows_probed = 0
+        self.matches = 0
+
+    def required_columns(self) -> Optional[FrozenSet[str]]:
+        return frozenset((self.key_column,))
+
+    def estimate_units_per_row(self) -> float:
+        """Static per-row cost for scan-speed estimation."""
+        return self.cost.join_probe_units
+
+    def push(self, data: PageData, n_rows: int) -> float:
+        if n_rows == 0:
+            return 0.0
+        self.rows_probed += n_rows
+        table = self.build_table
+        chunk_id, n_chunks = self.chunk_id, self.n_chunks
+        matches = 0
+        for key in _canonical_key_column(data[self.key_column]):
+            if n_chunks > 1 and partition_of(key, n_chunks) != chunk_id:
+                continue
+            matches += table.get(key, 0)
+        self.matches += matches
+        return n_rows * self.cost.join_probe_units
+
+    def finish(self) -> object:
+        return {"rows_probed": self.rows_probed, "matches": self.matches}

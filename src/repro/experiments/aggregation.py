@@ -1,0 +1,267 @@
+"""Memory-budgeted operator experiments (``ag-*`` / ``mj-*``).
+
+Three experiments exercise the operators that *compete with scans for
+bufferpool frames* (spillable aggregation, multibuffer hash joins)
+inside the paper's multi-scan workloads:
+
+* ``ag-compete`` — Base-vs-SS comparison on a scans-plus-aggregation
+  mix: classic range scans (Q1/Q6) interleaved with budgeted
+  high-cardinality aggregation (AG18), reporting spill and reservation
+  counters next to the paper's headline gains;
+* ``ag-mix`` — the same mix under one sharing policy, shaped like
+  ``pl-mix`` so ``repro sweep ag-mix --param sharing_policy`` renders
+  the three-way policy comparison table over the aggregation scenario;
+* ``mj-join`` — multibuffer joins (MJ1/MJ18) among Q6 scans, reporting
+  chunk counts and build-side spills.
+
+All spill metrics are read from the workload's per-step operator stats,
+so the experiments stay cache/digest-compatible with the runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import SharingConfig
+from repro.experiments.harness import (
+    Comparison,
+    ExperimentSettings,
+    ModeResult,
+    compare_modes,
+    run_mode,
+)
+from repro.metrics.report import format_policy_table, format_table, percent_gain
+from repro.workloads.streams import tpch_streams
+
+__all__ = [
+    "AggCompeteResult",
+    "AggMixResult",
+    "JoinResult",
+    "ag_compete",
+    "ag_mix",
+    "collect_operator_stats",
+    "mj_join",
+]
+
+#: Default scans-plus-aggregation mix: two classic scan templates and
+#: the two budgeted aggregations, so budgeted and classic queries fight
+#: over the same pool.
+AGG_MIX_QUERIES = ("Q1", "Q6", "AG1", "AG18")
+
+#: Default join mix: multibuffer joins among I/O-bound range scans.
+JOIN_MIX_QUERIES = ("Q6", "MJ1", "MJ18")
+
+#: The spill/reservation counters surfaced per mode in reports.
+SPILL_KEYS = (
+    "spill_events",
+    "spilled_partitions",
+    "spill_pages_written",
+    "spill_pages_read",
+    "granted_pages",
+    "clawed_pages",
+    "pressure_events",
+)
+
+
+def collect_operator_stats(mode: ModeResult) -> Dict[str, float]:
+    """Summed operator counters over every query of one mode's run."""
+    totals: Dict[str, float] = {}
+    for stream in mode.workload.streams:
+        for query in stream.queries:
+            for key, value in query.operator_stats().items():
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def _mix_streams(settings: ExperimentSettings, default_names) -> list:
+    names = (
+        list(settings.query_names) if settings.query_names
+        else list(default_names)
+    )
+    return tpch_streams(settings.n_streams, seed=settings.seed,
+                        query_names=names)
+
+
+@dataclass
+class AggCompeteResult:
+    """``ag-compete``: budgeted aggregation vs scans, Base vs SS."""
+
+    comparison: Comparison
+    base_stats: Dict[str, float]
+    shared_stats: Dict[str, float]
+    agg_strategy: str
+
+    def metrics(self) -> Dict[str, Any]:
+        base, shared = self.comparison.base, self.comparison.shared
+        return {
+            "agg_strategy": self.agg_strategy,
+            "base_makespan": base.makespan,
+            "shared_makespan": shared.makespan,
+            "base_pages_read": base.pages_read,
+            "shared_pages_read": shared.pages_read,
+            "end_to_end_gain_percent": self.comparison.end_to_end_gain,
+            "disk_read_gain_percent": self.comparison.disk_read_gain,
+            "base_spill": {
+                key: self.base_stats.get(key, 0) for key in SPILL_KEYS
+            },
+            "shared_spill": {
+                key: self.shared_stats.get(key, 0) for key in SPILL_KEYS
+            },
+        }
+
+    def render(self) -> str:
+        rows = []
+        for label, mode, stats in (
+            ("Base", self.comparison.base, self.base_stats),
+            ("SS", self.comparison.shared, self.shared_stats),
+        ):
+            rows.append([
+                label,
+                mode.makespan,
+                mode.pages_read,
+                int(stats.get("spill_events", 0)),
+                int(stats.get("spill_pages_written", 0)),
+                int(stats.get("spill_pages_read", 0)),
+                int(stats.get("granted_pages", 0)),
+                int(stats.get("clawed_pages", 0)),
+            ])
+        table = format_table(
+            ["mode", "makespan (s)", "pages read", "spills",
+             "spill wr", "spill rd", "granted", "clawed"],
+            rows,
+        )
+        gain = percent_gain(
+            self.comparison.base.makespan, self.comparison.shared.makespan
+        )
+        return (
+            f"{table}\nagg strategy: {self.agg_strategy}; "
+            f"end-to-end gain: {gain:.1f} %"
+        )
+
+
+def ag_compete(
+    settings: Optional[ExperimentSettings] = None,
+) -> AggCompeteResult:
+    """AG-COMPETE: spillable aggregation competing with scans, Base/SS."""
+    settings = settings or ExperimentSettings()
+    streams = _mix_streams(settings, AGG_MIX_QUERIES)
+    comparison = compare_modes(settings, streams=streams)
+    return AggCompeteResult(
+        comparison=comparison,
+        base_stats=collect_operator_stats(comparison.base),
+        shared_stats=collect_operator_stats(comparison.shared),
+        agg_strategy=settings.agg_strategy,
+    )
+
+
+@dataclass
+class AggMixResult:
+    """``ag-mix``: the aggregation mix under one sharing policy.
+
+    Metric shape deliberately matches :class:`~repro.experiments.\
+policies.PolicyRunResult` (``policy`` + ``makespan`` + …) so the CLI's
+    sharing-policy sweep table aggregates ``ag-mix`` grid points exactly
+    as it does ``pl-mix`` ones; the spill counters ride along as extra
+    keys the table formatter ignores.
+    """
+
+    policy: str
+    agg_strategy: str
+    mode_metrics: Dict[str, Any]
+    spill_stats: Dict[str, float]
+
+    def metrics(self) -> Dict[str, Any]:
+        merged = dict(self.mode_metrics)
+        merged["agg_strategy"] = self.agg_strategy
+        for key in SPILL_KEYS:
+            merged[key] = self.spill_stats.get(key, 0)
+        return merged
+
+    def render(self) -> str:
+        table = format_policy_table([self.mode_metrics])
+        spill = ", ".join(
+            f"{key}={int(self.spill_stats.get(key, 0))}" for key in SPILL_KEYS
+        )
+        return f"{table}\nspill [{self.agg_strategy}]: {spill}"
+
+
+def ag_mix(settings: Optional[ExperimentSettings] = None) -> AggMixResult:
+    """AG-MIX: scans-plus-aggregation under ``settings.sharing_policy``."""
+    settings = settings or ExperimentSettings()
+    streams = _mix_streams(settings, AGG_MIX_QUERIES)
+    mode = run_mode(
+        settings, SharingConfig(), settings.sharing_policy, streams=streams
+    )
+    return AggMixResult(
+        policy=settings.sharing_policy,
+        agg_strategy=settings.agg_strategy,
+        mode_metrics={
+            "policy": settings.sharing_policy,
+            "makespan": mode.makespan,
+            "pages_read": mode.pages_read,
+            "seeks": mode.seeks,
+            "hit_percent": 100.0 * mode.workload.buffer_hit_ratio,
+            "throttle_waits": mode.throttle_waits,
+            "scans_joined": mode.scans_joined,
+            "throttle_seconds": mode.workload.throttle_seconds,
+        },
+        spill_stats=collect_operator_stats(mode),
+    )
+
+
+@dataclass
+class JoinResult:
+    """``mj-join``: multibuffer hash joins among range scans."""
+
+    policy: str
+    makespan: float
+    pages_read: int
+    join_chunks: float
+    build_pages_needed: float
+    spill_stats: Dict[str, float]
+
+    def metrics(self) -> Dict[str, Any]:
+        merged = {
+            "policy": self.policy,
+            "makespan": self.makespan,
+            "pages_read": self.pages_read,
+            "join_chunks": self.join_chunks,
+            "build_pages_needed": self.build_pages_needed,
+        }
+        for key in SPILL_KEYS:
+            merged[key] = self.spill_stats.get(key, 0)
+        return merged
+
+    def render(self) -> str:
+        return format_table(
+            ["policy", "makespan (s)", "pages read", "probe passes",
+             "build frames", "spills", "spill wr"],
+            [[
+                self.policy,
+                self.makespan,
+                self.pages_read,
+                int(self.join_chunks),
+                int(self.build_pages_needed),
+                int(self.spill_stats.get("spill_events", 0)),
+                int(self.spill_stats.get("spill_pages_written", 0)),
+            ]],
+        )
+
+
+def mj_join(settings: Optional[ExperimentSettings] = None) -> JoinResult:
+    """MJ-JOIN: multibuffer joins sharing the pool with range scans."""
+    settings = settings or ExperimentSettings()
+    streams = _mix_streams(settings, JOIN_MIX_QUERIES)
+    mode = run_mode(
+        settings, SharingConfig(), settings.sharing_policy, streams=streams
+    )
+    stats = collect_operator_stats(mode)
+    return JoinResult(
+        policy=settings.sharing_policy,
+        makespan=mode.makespan,
+        pages_read=mode.pages_read,
+        join_chunks=stats.get("join_chunks", 0),
+        build_pages_needed=stats.get("build_pages_needed", 0),
+        spill_stats=stats,
+    )

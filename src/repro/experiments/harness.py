@@ -55,6 +55,12 @@ class ExperimentSettings:
     #: sorted tuple of (field, value) pairs so the settings object stays
     #: hashable and cache keys see every override.
     sharing_overrides: Optional[Tuple[Tuple[str, Any], ...]] = None
+    #: Spill strategy for memory-budgeted aggregation steps (see
+    #: :data:`repro.engine.spill.AGG_STRATEGIES`): ``hash`` or ``sort``.
+    #: Only the ``ag-*``/``mj-*`` experiments have budgeted steps; the
+    #: classic templates ignore it.  Part of every cache key and
+    #: sweepable via ``repro sweep --param agg_strategy``.
+    agg_strategy: str = "hash"
     #: Fault spec string (see :mod:`repro.faults.plan`); None = clean run.
     fault_spec: Optional[str] = None
     #: Arrival-window override for ``sv-*`` service scenarios, in
@@ -172,6 +178,7 @@ def build_database(
         n_disks=settings.device_count,
         stripe_extents=settings.stripe_extents,
         push_enabled=settings.push_prefetch,
+        agg_strategy=settings.agg_strategy,
         sharing=sharing,
         seed=settings.seed,
         fault_plan=settings.fault_plan(),

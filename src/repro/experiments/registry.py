@@ -41,6 +41,14 @@ from repro.experiments.experiments import (
     e8_per_query,
     e9_stream_scaling,
 )
+from repro.experiments.aggregation import (
+    AggCompeteResult,
+    AggMixResult,
+    JoinResult,
+    ag_compete,
+    ag_mix,
+    mj_join,
+)
 from repro.experiments.harness import Comparison, ExperimentSettings
 from repro.experiments.policies import (
     PolicyComparisonResult,
@@ -148,6 +156,13 @@ register("st-push",
          st_push)
 register("st-scaling",
          "striped: push-pipeline throughput over 1/2/4 devices", st_scaling)
+register("ag-compete",
+         "budgeted: spillable aggregation vs scans, Base vs SS", ag_compete)
+register("ag-mix",
+         "budgeted: scans-plus-aggregation mix under settings.sharing_policy "
+         "(sweep over sharing_policy for a comparison table)", ag_mix)
+register("mj-join",
+         "budgeted: multibuffer hash joins among range scans", mj_join)
 
 
 # ----------------------------------------------------------------------
@@ -230,6 +245,8 @@ def metrics_of(result: Any) -> Dict[str, Any]:
             ],
         }
     if isinstance(result, (PolicyMixResult, PolicyComparisonResult)):
+        return result.metrics()
+    if isinstance(result, (AggCompeteResult, AggMixResult, JoinResult)):
         return result.metrics()
     if isinstance(result, (StripedPushResult, StripedScalingResult)):
         return result.metrics()

@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional
 from repro.buffer.page import Priority
 from repro.scans.base import ScanResult
 
-OnPage = Callable[[int, dict], float]
+OnPage = Callable[[int, dict, int], float]
 
 
 @dataclass
@@ -106,7 +106,9 @@ class CircularScanDaemon:
                 # at the slowest consumer's pace (the model the paper's
                 # throttling is the answer to).
                 for consumer in list(self._consumers.values()):
-                    cpu_seconds = consumer.on_page(page_no, data)
+                    cpu_seconds = consumer.on_page(
+                        page_no, data, table.schema.rows_per_page
+                    )
                     if cpu_seconds > 0:
                         yield db.cpu.acquire()
                         try:

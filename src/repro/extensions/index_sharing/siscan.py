@@ -107,7 +107,9 @@ class IndexScan:
             try:
                 if self.on_page is not None:
                     cpu_seconds = self.on_page(
-                        page_no, self.index.table.page_data(page_no)
+                        page_no,
+                        self.index.table.page_data(page_no),
+                        self.index.table.schema.rows_per_page,
                     )
                 else:
                     cpu_seconds = self.cpu_per_page

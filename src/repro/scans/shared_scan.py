@@ -113,7 +113,7 @@ class SharedTableScan:
                 assert frame.key == key
                 try:
                     data = table.page_data(page_no)
-                    cpu_seconds = on_page(page_no, data)
+                    cpu_seconds = on_page(page_no, data, rows_per_page)
                     if cpu_seconds > 0:
                         yield cpu.acquire()
                         try:

@@ -8,7 +8,11 @@ from repro.buffer.page import Priority
 from repro.scans.base import ScanResult
 from repro.storage.datagen import PageData
 
-OnPage = Callable[[int, PageData], float]
+#: Per-page callback ``(page_no, page_data, n_rows) -> cpu_seconds``.
+#: The scan passes the row count explicitly — a pipeline must not infer
+#: it from a column, since projection pushdown can compact a page to
+#: zero columns.
+OnPage = Callable[[int, PageData, int], float]
 
 
 class TableScan:
@@ -23,8 +27,8 @@ class TableScan:
             ``catalog`` (duck-typed; see :class:`repro.engine.database.Database`).
         table_name: Table to scan.
         first_page / last_page: Inclusive page range.
-        on_page: Callback invoked with ``(page_no, page_data)``; returns
-            the CPU seconds to charge for processing that page.
+        on_page: Callback invoked with ``(page_no, page_data, n_rows)``;
+            returns the CPU seconds to charge for processing that page.
         record_visits: Keep the visited page order in the result (tests).
     """
 
@@ -91,7 +95,7 @@ try_fix` fast path — :meth:`~repro.buffer.pool.BufferPool.fix` is only
             assert frame.key == key
             try:
                 data = table.page_data(page_no)
-                cpu_seconds = on_page(page_no, data)
+                cpu_seconds = on_page(page_no, data, rows_per_page)
                 if cpu_seconds > 0:
                     yield cpu.acquire()
                     try:

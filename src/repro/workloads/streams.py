@@ -13,7 +13,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.engine.query import QuerySpec
-from repro.workloads.tpch_queries import QUERY_FACTORIES
+from repro.workloads.tpch_queries import (
+    BUDGETED_QUERY_FACTORIES,
+    QUERY_FACTORIES,
+)
 
 
 def tpch_stream(
@@ -31,7 +34,11 @@ def tpch_stream(
     )
     rng = np.random.default_rng(seed * 1_000_003 + stream_id)
     order = rng.permutation(len(names))
-    return [QUERY_FACTORIES[names[i]](rng) for i in order]
+    # Budgeted templates (AG*/MJ*) are reachable only via explicit
+    # query_names; the default composition — and its digests — is the
+    # classic 22-template permutation.
+    factories = {**QUERY_FACTORIES, **BUDGETED_QUERY_FACTORIES}
+    return [factories[names[i]](rng) for i in order]
 
 
 def tpch_streams(

@@ -663,12 +663,136 @@ QUERY_FACTORIES: Dict[str, QueryFactory] = {
 }
 
 
+def ag1(rng: np.random.Generator) -> QuerySpec:
+    """Q1-shaped pricing summary under a frame budget.
+
+    Same scan and aggregate shape as :func:`q1`, but the aggregation
+    negotiates a bufferpool reservation (auto-sized by the planner) and
+    spills under pressure.  Group cardinality is tiny (six groups), so
+    this template only spills when the pool claws its frames back — the
+    clean-run digest matches the operator-memory overhead, not temp I/O.
+    """
+    delta = float(rng.integers(60, 121))
+    return QuerySpec(
+        name="AG1",
+        steps=(
+            ScanStep(
+                table="lineitem",
+                cluster_range=(0.0, DATE_RANGE_DAYS - delta),
+                group_by=("l_returnflag", "l_linestatus"),
+                aggregates=(
+                    AggSpec("sum_qty", "sum", col("l_quantity")),
+                    AggSpec("sum_base_price", "sum", col("l_extendedprice")),
+                    AggSpec("avg_disc", "avg", col("l_discount")),
+                    AggSpec("count_order", "count"),
+                ),
+                extra_units_per_row=40.0,
+                agg_budget_pages=-1,
+                label="lineitem",
+            ),
+        ),
+    )
+
+
+def ag18(rng: np.random.Generator) -> QuerySpec:
+    """Q18-shaped high-cardinality grouping that always spills.
+
+    Grouping lineitem on ``l_orderkey`` (uniform over six million keys)
+    produces tens of thousands of groups at any scale — far beyond what
+    an auto budget of a quarter of the pool holds — so this template
+    demonstrably exercises the spill path on every run.
+    """
+    year = _pick_year(rng)
+    lo, hi = _year_range(year, days=540.0)
+    return QuerySpec(
+        name="AG18",
+        steps=(
+            ScanStep(
+                table="lineitem",
+                cluster_range=(lo, hi),
+                group_by=("l_orderkey",),
+                aggregates=(
+                    AggSpec("sum_qty", "sum", col("l_quantity")),
+                    AggSpec("lines", "count"),
+                ),
+                extra_units_per_row=8.0,
+                agg_budget_pages=-1,
+                label="lineitem",
+            ),
+            ScanStep(
+                table="orders",
+                aggregates=(AggSpec("max_price", "max", col("o_totalprice")),),
+                extra_units_per_row=3.0,
+                label="orders",
+            ),
+        ),
+    )
+
+
+def mj1(rng: np.random.Generator) -> QuerySpec:
+    """Multibuffer hash join: part ⋈ lineitem on the part key.
+
+    The build side hashes every part key under a deliberately small
+    frame budget; the probe side re-scans lineitem once per multibuffer
+    chunk when the build table outgrew the grant.  ``p_partkey`` is a
+    dense sequence and ``l_partkey`` samples a wider domain, so matches
+    are plentiful without being total.
+    """
+    budget = int(rng.integers(6, 13))
+    return QuerySpec(
+        name="MJ1",
+        steps=(
+            ScanStep(
+                table="part",
+                join_build_key="p_partkey",
+                join_budget_pages=budget,
+                label="build-part",
+            ),
+            ScanStep(
+                table="lineitem",
+                join_probe_key="l_partkey",
+                label="probe-lineitem",
+            ),
+        ),
+    )
+
+
+def mj18(rng: np.random.Generator) -> QuerySpec:
+    """Q18-shaped join: orders build side, lineitem probe side."""
+    year = _pick_year(rng)
+    lo, hi = _year_range(year, days=720.0)
+    return QuerySpec(
+        name="MJ18",
+        steps=(
+            ScanStep(
+                table="orders",
+                join_build_key="o_orderkey",
+                join_budget_pages=-1,
+                label="build-orders",
+            ),
+            ScanStep(
+                table="lineitem",
+                cluster_range=(lo, hi),
+                join_probe_key="l_orderkey",
+                label="probe-lineitem",
+            ),
+        ),
+    )
+
+
+#: Memory-budgeted templates.  Kept OUT of :data:`QUERY_FACTORIES` on
+#: purpose: the default TPC-H stream composition (and therefore every
+#: pre-existing experiment digest) is derived from that dict's keys, so
+#: these are only reachable by explicit name.
+BUDGETED_QUERY_FACTORIES: Dict[str, QueryFactory] = {
+    "AG1": ag1, "AG18": ag18, "MJ1": mj1, "MJ18": mj18,
+}
+
+
 def make_query(name: str, rng: Optional[np.random.Generator] = None) -> QuerySpec:
     """Instantiate one template by name with a seeded RNG."""
-    try:
-        factory = QUERY_FACTORIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown query {name!r}; known: {sorted(QUERY_FACTORIES)}"
-        ) from None
+    factory = QUERY_FACTORIES.get(name) or BUDGETED_QUERY_FACTORIES.get(name)
+    if factory is None:
+        known = sorted(QUERY_FACTORIES) + sorted(BUDGETED_QUERY_FACTORIES)
+        raise KeyError(f"unknown query {name!r}; known: {known}")
     return factory(rng or np.random.default_rng(0))

@@ -9,7 +9,7 @@ from repro.scans.shared_scan import SharedTableScan
 from tests.conftest import make_database
 
 
-def cheap(page_no, data):
+def cheap(page_no, data, n_rows):
     return 1e-6
 
 
@@ -80,7 +80,7 @@ class TestCircularDaemon:
         manager = AttachScanManager(db)
         fast = db.sim.spawn(attach_scan_process(manager, "t", cheap)(db.sim))
         slow = db.sim.spawn(
-            attach_scan_process(manager, "t", lambda p, d: 2e-3)(db.sim)
+            attach_scan_process(manager, "t", lambda p, d, n: 2e-3)(db.sim)
         )
         db.sim.run()
         fast_result = fast.completion.value
@@ -93,7 +93,7 @@ class TestCircularDaemon:
         the 80 % fairness cap instead of chaining it to the slow scan."""
         db = make_database(n_pages=64, sharing=SharingConfig())
         fast_scan = SharedTableScan(db, "t", 0, 63, on_page=cheap)
-        slow_scan = SharedTableScan(db, "t", 0, 63, on_page=lambda p, d: 2e-3)
+        slow_scan = SharedTableScan(db, "t", 0, 63, on_page=lambda p, d, n: 2e-3)
         fast = db.sim.spawn(fast_scan.run())
         slow = db.sim.spawn(slow_scan.run())
         db.sim.run()

@@ -22,7 +22,7 @@ from repro.storage.tablespace import Tablespace
 from tests.conftest import make_database, make_pool
 
 
-def cheap(page_no, data):
+def cheap(page_no, data, n_rows):
     return 1e-6
 
 

@@ -26,7 +26,7 @@ from repro.storage.tablespace import Tablespace
 from tests.conftest import make_database
 
 
-def cheap(page_no, data):
+def cheap(page_no, data, n_rows):
     return 1e-6
 
 

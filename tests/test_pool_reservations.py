@@ -1,0 +1,188 @@
+"""Property tests for named frame reservations and claw-back.
+
+Hypothesis drives random reserve / release_reserved / reserve_frames /
+release_frames / claw-back programs through the pool while checking the
+reservation accounting invariants the budgeted operators depend on:
+
+* at least ``MIN_USABLE_FRAMES`` frames always stay usable;
+* ``reserved_frames`` always equals the anonymous share plus the sum of
+  live claimants' grants (and the anonymous share is never negative —
+  ``release_reserved`` must not free a claimant's frames);
+* every frame granted to a claimant is eventually accounted for as
+  either clawed back or released, never both;
+* a fully drained pool ends with ``reserved_frames == 0``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.buffer.page import PageKey
+from repro.buffer.pool import BufferPool, BufferPoolError, PoolExhausted
+from repro.disk.device import Disk
+from repro.disk.geometry import DiskGeometry
+from repro.sim.kernel import Simulator
+
+from tests.conftest import make_pool
+
+# One program step: (op, amount).  Claimant choice is derived from
+# ``amount`` so the strategy stays a flat tuple.
+step = st.tuples(
+    st.sampled_from(
+        ["reserve", "release", "reserve_frames", "release_frames", "claw"]
+    ),
+    st.integers(min_value=1, max_value=12),
+)
+program = st.lists(step, min_size=1, max_size=30)
+
+
+def anonymous_share(pool: BufferPool) -> int:
+    live = sum(r.granted for r in pool._claimants)
+    return pool.reserved_frames - live
+
+
+def check_invariants(pool: BufferPool) -> None:
+    assert pool.capacity - pool.reserved_frames >= BufferPool.MIN_USABLE_FRAMES
+    assert pool.reserved_frames >= 0
+    assert anonymous_share(pool) >= 0, (
+        "release_reserved freed a claimant's frames"
+    )
+    for reservation in pool._claimants:
+        assert reservation.granted >= 0
+        assert not reservation.released
+
+
+class TestReservationRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(steps=program, capacity=st.integers(min_value=6, max_value=24))
+    def test_random_programs_hold_accounting(self, steps, capacity):
+        sim = Simulator()
+        disk = Disk(sim, DiskGeometry(total_pages=4096))
+        pool = make_pool(sim, disk, capacity=capacity)
+        live = []
+        total_granted = 0
+        total_clawed_or_released = 0
+
+        for op, amount in steps:
+            if op == "reserve":
+                granted = pool.reserve(amount)
+                assert 0 <= granted <= amount
+            elif op == "release":
+                anonymous = anonymous_share(pool)
+                freed = pool.release_reserved(amount)
+                assert freed == min(amount, anonymous)
+            elif op == "reserve_frames":
+                reservation = pool.reserve_frames(
+                    f"op-{len(live)}", amount
+                )
+                assert 0 <= reservation.granted <= amount
+                total_granted += reservation.granted
+                live.append(reservation)
+            elif op == "release_frames" and live:
+                reservation = live.pop(amount % len(live))
+                before = reservation.granted
+                freed = pool.release_frames(reservation)
+                assert freed == before
+                assert reservation.released
+                total_clawed_or_released += before
+                # Idempotent: a second release frees nothing.
+                assert pool.release_frames(reservation) == 0
+            elif op == "claw":
+                before = pool.reserved_frames
+                took = pool._claw_back_one()
+                assert took == (before > 0)
+                if took:
+                    assert pool.reserved_frames == before - 1
+            check_invariants(pool)
+
+        # Conservation: every claimant frame is held, clawed, or released.
+        still_held = sum(r.granted for r in live)
+        assert total_granted >= total_clawed_or_released + still_held
+
+        # Full drain: releasing every claimant and the anonymous share
+        # leaves nothing reserved.
+        for reservation in live:
+            pool.release_frames(reservation)
+        if pool.reserved_frames:
+            pool.release_reserved(pool.reserved_frames)
+        assert anonymous_share(pool) == 0
+        assert pool.reserved_frames == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(capacity=st.integers(min_value=6, max_value=24),
+           asks=st.lists(st.integers(min_value=1, max_value=30),
+                         min_size=1, max_size=6))
+    def test_grants_never_breach_usable_floor(self, capacity, asks):
+        sim = Simulator()
+        disk = Disk(sim, DiskGeometry(total_pages=4096))
+        pool = make_pool(sim, disk, capacity=capacity)
+        for index, ask in enumerate(asks):
+            pool.reserve_frames(f"op-{index}", ask)
+            check_invariants(pool)
+        ceiling = capacity - BufferPool.MIN_USABLE_FRAMES
+        assert pool.reserved_frames <= ceiling
+
+
+class TestClawBackOrder:
+    def test_lifo_claimants_then_anonymous(self, sim, disk):
+        pool = make_pool(sim, disk, capacity=32)
+        pool.reserve(4)                       # anonymous
+        first = pool.reserve_frames("first", 4)
+        second = pool.reserve_frames("second", 4)
+        seen = []
+        first.on_clawback = lambda r: seen.append("first")
+        second.on_clawback = lambda r: seen.append("second")
+
+        for _ in range(8):                    # drain both claimants
+            assert pool._claw_back_one()
+        assert seen == ["second"] * 4 + ["first"] * 4
+        assert first.granted == 0 and first.clawed == 4
+        assert second.granted == 0 and second.clawed == 4
+
+        assert pool.reserved_frames == 4      # anonymous share remains
+        for _ in range(4):
+            assert pool._claw_back_one()
+        assert pool.reserved_frames == 0
+        assert not pool._claw_back_one()
+        assert pool.clawed_back_frames == 12
+
+    def test_release_reserved_cannot_free_claimant_frames(self, sim, disk):
+        pool = make_pool(sim, disk, capacity=32)
+        reservation = pool.reserve_frames("agg", 8)
+        assert reservation.granted == 8
+        assert pool.release_reserved(8) == 0
+        assert reservation.granted == 8
+        pool.reserve(4)
+        assert pool.release_reserved(100) == 4
+        assert pool.reserved_frames == 8
+
+
+class TestExhaustionStaysTyped:
+    def test_pin_pressure_claws_back_before_exhausting(self, sim, disk):
+        """Pinning into a reservation claws frames back one at a time;
+        only once the reservation is drained does the pool raise the
+        typed :class:`PoolExhausted`."""
+        pool = make_pool(sim, disk, capacity=8)
+        reservation = pool.reserve_frames("agg", 4)
+        assert reservation.granted == 4
+
+        def worker(sim):
+            # Pages 0-3 fill the usable floor; 4-7 each force one
+            # claw-back from the reservation; page 8 finds nothing left.
+            for page in range(8):
+                yield from pool.fix(PageKey(0, page))
+            yield from pool.fix(PageKey(0, 99))
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert type(proc.completion.value) is PoolExhausted
+        assert isinstance(proc.completion.value, BufferPoolError)
+        assert reservation.granted == 0
+        assert reservation.clawed == 4
+        assert pool.clawed_back_frames == 4
+
+    def test_reserve_rejects_negative(self, sim, disk):
+        pool = make_pool(sim, disk, capacity=8)
+        with pytest.raises(BufferPoolError):
+            pool.reserve(-1)
+        with pytest.raises(BufferPoolError):
+            pool.release_reserved(-1)

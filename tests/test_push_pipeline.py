@@ -25,7 +25,7 @@ from repro.sim.kernel import Simulator
 from tests.conftest import make_database, make_pool
 
 
-def cheap(page_no, data):
+def cheap(page_no, data, n_rows):
     return 1e-6
 
 

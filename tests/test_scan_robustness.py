@@ -13,7 +13,7 @@ from tests.conftest import make_database
 
 
 def exploding_on_page(fail_at_page):
-    def on_page(page_no, data):
+    def on_page(page_no, data, n_rows):
         if page_no == fail_at_page:
             raise RuntimeError(f"injected failure at page {page_no}")
         return 1e-6
@@ -45,7 +45,7 @@ class TestPinLeaks:
         proc_bad = db.sim.spawn(bad.run())
         db.sim.run()
         assert proc_bad.completion.failed
-        good = SharedTableScan(db, "t", 0, 63, on_page=lambda p, d: 1e-6)
+        good = SharedTableScan(db, "t", 0, 63, on_page=lambda p, d, n: 1e-6)
         proc_good = db.sim.spawn(good.run())
         db.sim.run()
         assert not proc_good.completion.failed
@@ -67,7 +67,7 @@ class TestRequiresOrder:
         sharing enabled: it always starts at its range's first page."""
         db = make_database(n_pages=64, sharing=SharingConfig(enabled=True))
         # Prime an ongoing scan so placement WOULD relocate a new scan.
-        warm = SharedTableScan(db, "t", 0, 63, on_page=lambda p, d: 1e-4)
+        warm = SharedTableScan(db, "t", 0, 63, on_page=lambda p, d, n: 1e-4)
         db.sim.spawn(warm.run())
         db.sim.run(until=0.01)
 
@@ -82,7 +82,7 @@ class TestRequiresOrder:
 
     def test_unordered_step_may_relocate(self):
         db = make_database(n_pages=128, sharing=SharingConfig(enabled=True))
-        warm = SharedTableScan(db, "t", 0, 127, on_page=lambda p, d: 1e-4)
+        warm = SharedTableScan(db, "t", 0, 127, on_page=lambda p, d, n: 1e-4)
         db.sim.spawn(warm.run())
         db.sim.run(until=0.02)
         unordered = uniform_scan_query("t", name="unordered")

@@ -18,7 +18,7 @@ def run_scan(db, scan):
     return proc.completion.value
 
 
-def cheap(page_no, data):
+def cheap(page_no, data, n_rows):
     return 1e-6
 
 
@@ -66,7 +66,7 @@ class TestTableScan:
 
     def test_cpu_time_accumulated(self):
         db = make_database(n_pages=16, sharing=SharingConfig(enabled=False))
-        scan = TableScan(db, "t", 0, 15, on_page=lambda p, d: 0.001)
+        scan = TableScan(db, "t", 0, 15, on_page=lambda p, d, n: 0.001)
         result = run_scan(db, scan)
         assert result.cpu_seconds == pytest.approx(0.016)
         assert result.elapsed >= 0.016
@@ -113,7 +113,7 @@ class TestSharedTableScan:
     def test_manager_deregistered_even_on_failure(self):
         db = make_database(n_pages=32)
 
-        def explode(page_no, data):
+        def explode(page_no, data, n_rows):
             raise RuntimeError("page processing failed")
 
         scan = SharedTableScan(db, "t", 0, 31, on_page=explode)
@@ -153,8 +153,8 @@ class TestSharedTableScan:
     def test_throttle_seconds_reported(self):
         db = make_database(n_pages=128, pool_pages=64)
         # A fast scan and a slow scan: the fast one must get throttled.
-        fast = SharedTableScan(db, "t", 0, 127, on_page=lambda p, d: 1e-6)
-        slow = SharedTableScan(db, "t", 0, 127, on_page=lambda p, d: 2e-3)
+        fast = SharedTableScan(db, "t", 0, 127, on_page=lambda p, d, n: 1e-6)
+        slow = SharedTableScan(db, "t", 0, 127, on_page=lambda p, d, n: 2e-3)
         proc_fast = db.sim.spawn(fast.run())
         proc_slow = db.sim.spawn(slow.run())
         db.sim.run()

@@ -396,7 +396,7 @@ class TestSharedScanUnderRivalPolicies:
             def process():
                 yield db.sim.timeout(delay)
                 scan = SharedTableScan(
-                    db, "t", 0, 127, on_page=lambda p, d: 1e-6
+                    db, "t", 0, 127, on_page=lambda p, d, n: 1e-6
                 )
                 result = yield from scan.run()
                 results.append(result)

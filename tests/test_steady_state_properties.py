@@ -32,7 +32,7 @@ def run_scans(costs, n_pages=96, pool=48, config=None):
     procs = []
     for cost in costs:
         scan = SharedTableScan(db, "t", 0, n_pages - 1,
-                               on_page=lambda p, d, c=cost: c)
+                               on_page=lambda p, d, n, c=cost: c)
         procs.append(db.sim.spawn(scan.run()))
     db.sim.run()
     results = []

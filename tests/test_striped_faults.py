@@ -22,7 +22,7 @@ from repro.sim.kernel import Simulator
 from tests.conftest import make_database
 
 
-def cheap(page_no, data):
+def cheap(page_no, data, n_rows):
     return 1e-6
 
 
