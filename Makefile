@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-quick bench-check bench-guards bench-soak compiled test-compiled policy-smoke agg-smoke serve-quick serve-soak
+.PHONY: test test-fast bench bench-quick bench-check bench-guards bench-soak compiled test-compiled policy-smoke agg-smoke cluster-smoke serve-quick serve-soak
 
 test:            ## full tier-1 suite
 	$(PYTHON) -m pytest -x -q
@@ -60,6 +60,17 @@ agg-smoke:       ## budgeted-aggregation mix across three policies, digest-check
 		spilled = sum(pt['metrics'].get('spilled_partitions', 0) for pt in s['experiments']); \
 		assert spilled > 0, 'agg smoke never spilled'; \
 		print('agg smoke OK:', s['suite_digest'][:12], f'({spilled:.0f} partitions spilled)')"
+
+cluster-smoke:   ## two cluster scenarios, serial digest == --jobs digest
+	$(PYTHON) -m repro cluster-sim steady,skew --quick --replicas 2 \
+		--jobs 1 --no-cache --out cluster-serial.json
+	$(PYTHON) -m repro cluster-sim steady,skew --quick --replicas 2 \
+		--jobs 2 --no-cache --out cluster-parallel.json
+	$(PYTHON) -c "import json; s=json.load(open('cluster-serial.json')); \
+		p=json.load(open('cluster-parallel.json')); \
+		assert s['suite_digest'] == p['suite_digest'], 'cluster sims diverged under --jobs'; \
+		assert all(pt['metrics']['drained'] for pt in s['experiments']), 'a cluster run failed to drain'; \
+		print('cluster smoke OK:', s['suite_digest'][:12])"
 
 serve-quick:     ## service-layer smoke: steady scenario, bounds asserted
 	$(PYTHON) -m repro serve-sim steady --quick --no-cache --assert-bounded

@@ -11,6 +11,8 @@ Usage::
     python -m repro chaos --quick
     python -m repro serve-sim steady --quick
     python -m repro serve-sim soak --faults disk-degrade --assert-bounded
+    python -m repro cluster-sim steady --quick
+    python -m repro cluster-sim scale --replicas 4
     python -m repro bench --out BENCH_kernel.json
     python -m repro quickstart
 
@@ -32,6 +34,10 @@ MPL controller — through the same cached, deterministic runner as
 ``run-all``; ``--assert-bounded`` (exit 5 on failure) checks the run
 drained and stayed within its concurrency/queue bounds, and
 ``--faults`` layers a chaos plan on top.
+``cluster-sim`` runs a named cluster scenario — a templated
+simulated-user load routed over a sharded replica fleet by a
+consistent-hash ring, each replica its own admission-controlled
+service — through the same cached, deterministic runner.
 ``bench`` runs the hot-path microbenchmarks (fix-hit, fix-miss, event
 dispatch, end-to-end staggered-Q6), writes the machine-normalized
 ``BENCH_kernel.json`` artifact, and — with ``--check`` — fails (exit 3)
@@ -155,6 +161,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit 5 unless every run drained, stayed within "
                             "its MPL bound, and kept patience-bounded "
                             "queues under their ceilings")
+
+    cluster = subparsers.add_parser(
+        "cluster-sim",
+        help="run sharded multi-replica cluster scenarios (consistent-hash "
+             "routing over a templated simulated-user load)",
+    )
+    cluster.add_argument("scenario", nargs="?", default="steady",
+                         help="scenario name or comma-separated list "
+                              "(default: steady; see --list)")
+    cluster.add_argument("--list", action="store_true",
+                         dest="list_scenarios",
+                         help="list cluster scenarios and exit")
+    _add_settings_args(cluster)
+    _add_runner_args(cluster)
+    cluster.add_argument("--quick", action="store_true",
+                         help="CI smoke configuration: scale 0.1 (scenario "
+                              "horizons shrink proportionally)")
+    cluster.add_argument("--replicas", type=int, default=None,
+                         help="replica-fleet size override (scale sweeps "
+                              "doubling steps up to this)")
+    cluster.add_argument("--users", type=int, default=None,
+                         help="simulated user-population override "
+                              "(default: one million)")
+    cluster.add_argument("--horizon", type=float, default=None,
+                         help="arrival-window override in simulated seconds "
+                              "(default: per-scenario, scale-derived)")
 
     bench = subparsers.add_parser(
         "bench",
@@ -642,6 +674,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Run one or more cluster scenarios through the parallel runner.
+
+    Returns an exit code directly: 0 on success, 2 on an unknown
+    scenario or bad argument, 4 on an invariant violation (chaos runs).
+    """
+    from repro.cluster.scenarios import CLUSTER_SCENARIOS
+    from repro.experiments.runner import ExperimentTask, run_tasks
+    from repro.faults.invariants import InvariantViolation
+    from repro.metrics.export import write_suite_json
+
+    if args.list_scenarios:
+        print(format_table(
+            ["scenario", "description"], sorted(CLUSTER_SCENARIOS.items())
+        ))
+        return 0
+    names = [n.strip() for n in args.scenario.split(",") if n.strip()]
+    if not names:
+        print("repro cluster-sim: error: no scenario named", file=sys.stderr)
+        return 2
+    for name in names:
+        if name not in CLUSTER_SCENARIOS:
+            print(
+                f"repro cluster-sim: error: unknown scenario {name!r} "
+                f"(known: {', '.join(sorted(CLUSTER_SCENARIOS))})",
+                file=sys.stderr,
+            )
+            return 2
+    settings = _settings_from_args(args)
+    if args.quick:
+        settings = settings.with_(scale=0.1)
+    if args.replicas is not None:
+        if args.replicas < 1:
+            print(
+                f"repro cluster-sim: error: --replicas must be >= 1, "
+                f"got {args.replicas}",
+                file=sys.stderr,
+            )
+            return 2
+        settings = settings.with_(cluster_replicas=args.replicas)
+    if args.users is not None:
+        if args.users < 1:
+            print(
+                f"repro cluster-sim: error: --users must be >= 1, "
+                f"got {args.users}",
+                file=sys.stderr,
+            )
+            return 2
+        settings = settings.with_(cluster_users=args.users)
+    if args.horizon is not None:
+        if args.horizon <= 0:
+            print(
+                f"repro cluster-sim: error: --horizon must be positive, "
+                f"got {args.horizon}",
+                file=sys.stderr,
+            )
+            return 2
+        settings = settings.with_(service_horizon=args.horizon)
+    tasks = [
+        ExperimentTask(experiment=f"sv-cluster-{name}", settings=settings)
+        for name in names
+    ]
+    try:
+        suite = run_tasks(
+            tasks, jobs=args.jobs,
+            use_cache=not args.no_cache, cache_dir=args.cache_dir,
+        )
+    except InvariantViolation as exc:
+        print(f"INVARIANT VIOLATION: {exc}", file=sys.stderr)
+        return 4
+    print(_suite_report(
+        suite,
+        f"CLUSTER-SIM — {', '.join(names)} "
+        f"(scale {settings.scale}, seed {settings.seed})",
+    ))
+    for task in suite.tasks:
+        print(f"\n--- {task.label} ---\n{task.render}")
+    if args.out:
+        write_suite_json(suite, args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> str:
     from repro.experiments.harness import compare_modes
 
@@ -671,6 +786,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
     if args.command == "serve-sim":
         return _cmd_serve(args)
+    if args.command == "cluster-sim":
+        return _cmd_cluster(args)
     commands = {
         "list": lambda: _cmd_list(),
         "run": lambda: _cmd_run(args),

@@ -67,6 +67,12 @@ class ExperimentSettings:
     #: simulated seconds; None = the scenario's own scale-derived default.
     #: Ignored by every non-service experiment.
     service_horizon: Optional[float] = None
+    #: Replica-fleet override for ``sv-cluster-*`` scenarios; None = the
+    #: scenario's own default.  Ignored by every non-cluster experiment.
+    cluster_replicas: Optional[int] = None
+    #: Simulated-user-population override for ``sv-cluster-*`` scenarios;
+    #: None = the scenario's own default.  Ignored elsewhere.
+    cluster_users: Optional[int] = None
 
     def with_(self, **changes) -> "ExperimentSettings":
         """A modified copy."""
@@ -164,10 +170,23 @@ def expected_pool_pages(settings: ExperimentSettings,
     return max(defaults.min_pool_pages, int(total * settings.pool_fraction))
 
 
+#: Sentinel distinguishing "no fault_plan argument" from "explicit None".
+_UNSET_PLAN = object()
+
+
 def build_database(
-    settings: ExperimentSettings, sharing: SharingConfig
+    settings: ExperimentSettings,
+    sharing: SharingConfig,
+    fault_plan: object = _UNSET_PLAN,
 ) -> Database:
-    """A TPC-H database wired for one experiment mode."""
+    """A TPC-H database wired for one experiment mode.
+
+    ``fault_plan`` overrides the plan the settings would derive — the
+    cluster layer passes each replica's pre-filtered sub-plan (or None
+    when no clause survives the ``replica=`` pin).
+    """
+    if fault_plan is _UNSET_PLAN:
+        fault_plan = settings.fault_plan()
     config = SystemConfig(
         n_cpus=settings.n_cpus,
         pool_pages=settings.pool_pages,
@@ -181,7 +200,7 @@ def build_database(
         agg_strategy=settings.agg_strategy,
         sharing=sharing,
         seed=settings.seed,
-        fault_plan=settings.fault_plan(),
+        fault_plan=fault_plan,
     )
     return make_tpch_database(config, scale=settings.scale)
 

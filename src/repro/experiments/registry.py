@@ -151,6 +151,35 @@ register("sv-overload",
          "service: overload backpressure, controller on vs off", sv_overload)
 register("sv-burst", "service: bursty MMPP arrivals", sv_burst)
 register("sv-soak", "service: long mixed soak (chaos-ready)", sv_soak)
+# The cluster layer sits above the experiment harness (its service
+# builds databases through it), so these three import lazily to keep
+# registry import-time cycle-free.
+
+
+def _sv_cluster_steady(settings: ExperimentSettings) -> Any:
+    from repro.cluster.scenarios import sv_cluster_steady
+    return sv_cluster_steady(settings)
+
+
+def _sv_cluster_skew(settings: ExperimentSettings) -> Any:
+    from repro.cluster.scenarios import sv_cluster_skew
+    return sv_cluster_skew(settings)
+
+
+def _sv_cluster_scale(settings: ExperimentSettings) -> Any:
+    from repro.cluster.scenarios import sv_cluster_scale
+    return sv_cluster_scale(settings)
+
+
+register("sv-cluster-steady",
+         "cluster: mixed load over a replicated fleet (rf=2, least-loaded)",
+         _sv_cluster_steady)
+register("sv-cluster-skew",
+         "cluster: zipf users + zipf tables, hot-shard stress",
+         _sv_cluster_skew)
+register("sv-cluster-scale",
+         "cluster: identical load over 1/2/4 replicas (scaling claim)",
+         _sv_cluster_scale)
 register("st-push",
          "striped: pull vs push prefetch pipeline at --device-count",
          st_push)
@@ -253,6 +282,9 @@ def metrics_of(result: Any) -> Dict[str, Any]:
     if isinstance(result, Comparison):
         return comparison_metrics(result)
     if isinstance(result, (ServiceResult, ServiceComparison)):
+        return result.metrics()
+    from repro.cluster.service import ClusterResult, ClusterScalingResult
+    if isinstance(result, (ClusterResult, ClusterScalingResult)):
         return result.metrics()
     if isinstance(result, dict):  # a4 / a9: sweep key -> Comparison
         return {str(key): metrics_of(value)

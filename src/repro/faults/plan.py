@@ -9,13 +9,19 @@ runner's determinism guarantees.
 
 Spec grammar (clauses separated by ``;``, options by ``,``)::
 
-    scan-kill[:target=leader,at=0.4,count=1,nth=0]
-    disk-delay[:factor=4.0,from=0.0,until=inf,device=-1]
-    disk-error[:rate=0.05,from=0.0,until=inf,max_retries=4,backoff=0.002,device=-1]
-    pool-pressure[:fraction=0.5,from=0.0,until=inf]
+    scan-kill[:target=leader,at=0.4,count=1,nth=0,replica=-1]
+    disk-delay[:factor=4.0,from=0.0,until=inf,device=-1,replica=-1]
+    disk-error[:rate=0.05,from=0.0,until=inf,max_retries=4,backoff=0.002,device=-1,replica=-1]
+    pool-pressure[:fraction=0.5,from=0.0,until=inf,replica=-1]
 
 ``device`` pins a disk clause to one spindle of a striped array
-(``device=-1``, the default, hits every device).
+(``device=-1``, the default, hits every device).  ``replica`` pins any
+clause to one replica of a cluster run (``replica=-1``, the default,
+applies everywhere — including single-node runs, which ignore the
+field): the cluster service filters each replica's plan with
+:meth:`FaultPlan.for_replica` *before* building that replica's
+injector, so killing one replica's scans never perturbs the RNG draws
+of the others.
 
 Builtin aliases expand to tuned clauses: ``leader-abort``,
 ``trailer-abort``, ``disk-degrade``, ``disk-errors``, ``pool-pressure``.
@@ -56,6 +62,8 @@ class ScanKillFault:
     at: float = 0.5
     count: int = 1
     nth: int = 0
+    #: Restrict the clause to one cluster replica (-1 = everywhere).
+    replica: int = -1
 
     kind = "scan-kill"
 
@@ -68,6 +76,14 @@ class ScanKillFault:
             raise FaultSpecError(f"scan-kill at must be in [0, 1], got {self.at}")
         if self.count < 1:
             raise FaultSpecError(f"scan-kill count must be >= 1, got {self.count}")
+        if self.replica < -1:
+            raise FaultSpecError(
+                f"scan-kill replica must be >= 0 (or -1 for all), got {self.replica}"
+            )
+
+    def matches_replica(self, replica_index: int) -> bool:
+        """Whether the clause applies to a given cluster replica."""
+        return self.replica < 0 or self.replica == replica_index
 
 
 @dataclass(frozen=True)
@@ -86,6 +102,8 @@ class DiskDelayFault:
     start: float = 0.0
     until: float = math.inf
     device: int = -1
+    #: Restrict the clause to one cluster replica (-1 = everywhere).
+    replica: int = -1
 
     kind = "disk-delay"
 
@@ -103,6 +121,14 @@ class DiskDelayFault:
             raise FaultSpecError(
                 f"disk-delay device must be >= 0 (or -1 for all), got {self.device}"
             )
+        if self.replica < -1:
+            raise FaultSpecError(
+                f"disk-delay replica must be >= 0 (or -1 for all), got {self.replica}"
+            )
+
+    def matches_replica(self, replica_index: int) -> bool:
+        """Whether the clause applies to a given cluster replica."""
+        return self.replica < 0 or self.replica == replica_index
 
     def active_at(self, now: float) -> bool:
         """Whether the window covers simulated time ``now``."""
@@ -130,6 +156,8 @@ class DiskErrorFault:
     backoff: float = 0.002
     #: Restrict the clause to one spindle of a striped array (-1 = all).
     device: int = -1
+    #: Restrict the clause to one cluster replica (-1 = everywhere).
+    replica: int = -1
 
     kind = "disk-error"
 
@@ -153,6 +181,14 @@ class DiskErrorFault:
             raise FaultSpecError(
                 f"disk-error device must be >= 0 (or -1 for all), got {self.device}"
             )
+        if self.replica < -1:
+            raise FaultSpecError(
+                f"disk-error replica must be >= 0 (or -1 for all), got {self.replica}"
+            )
+
+    def matches_replica(self, replica_index: int) -> bool:
+        """Whether the clause applies to a given cluster replica."""
+        return self.replica < 0 or self.replica == replica_index
 
     def active_at(self, now: float) -> bool:
         """Whether the window covers simulated time ``now``."""
@@ -176,6 +212,8 @@ class PoolPressureFault:
     fraction: float = 0.5
     start: float = 0.0
     until: float = math.inf
+    #: Restrict the clause to one cluster replica (-1 = everywhere).
+    replica: int = -1
 
     kind = "pool-pressure"
 
@@ -189,6 +227,14 @@ class PoolPressureFault:
                 f"pool-pressure window must satisfy 0 <= from <= until, got "
                 f"[{self.start}, {self.until}]"
             )
+        if self.replica < -1:
+            raise FaultSpecError(
+                f"pool-pressure replica must be >= 0 (or -1 for all), got {self.replica}"
+            )
+
+    def matches_replica(self, replica_index: int) -> bool:
+        """Whether the clause applies to a given cluster replica."""
+        return self.replica < 0 or self.replica == replica_index
 
 
 Fault = Union[ScanKillFault, DiskDelayFault, DiskErrorFault, PoolPressureFault]
@@ -293,6 +339,24 @@ class FaultPlan:
     def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
         """Parse ``spec`` and bind it to ``seed``."""
         return cls(spec=spec, seed=seed, faults=parse_fault_spec(spec))
+
+    def for_replica(self, replica_index: int) -> "FaultPlan":
+        """The sub-plan a given cluster replica should inject.
+
+        Keeps only clauses whose ``replica`` pin matches (unpinned
+        clauses match everywhere); spec and seed carry over unchanged,
+        so the surviving clauses draw exactly as they would have in a
+        single-node run.  May return a plan with no clauses — callers
+        should skip injector construction entirely in that case.
+        """
+        return FaultPlan(
+            spec=self.spec,
+            seed=self.seed,
+            faults=tuple(
+                fault for fault in self.faults
+                if fault.matches_replica(replica_index)
+            ),
+        )
 
     def describe(self) -> str:
         """One human-readable line per clause."""

@@ -59,28 +59,116 @@ SERVICE_COLUMNS = (
 )
 
 
-def format_service_table(class_rows: Sequence[Mapping[str, object]]) -> str:
+#: Columns that only mean something once a request has completed.
+_COMPLETION_COLUMNS = frozenset(
+    ("latency_p50", "latency_p95", "latency_p99", "throughput",
+     "slo_attainment")
+)
+
+#: Columns that only mean something once a request has arrived.
+_ARRIVAL_COLUMNS = frozenset(("wait_p50", "wait_p99"))
+
+
+def format_service_table(
+    class_rows: Sequence[Mapping[str, object]],
+    fleet_row: bool = False,
+) -> str:
     """Render per-class service metrics as an aligned table.
 
     Each row is a mapping with the keys named in :data:`SERVICE_COLUMNS`
     (``ClassMetrics.as_dict()`` produces exactly this shape); missing or
-    ``None`` values render as ``-`` so classes without an SLO or with no
-    completions still line up.
+    ``None`` values render as ``-`` so classes without an SLO still line
+    up.  A class with zero completions (all abandoned, or starved
+    entirely) dashes its latency/throughput/SLO columns instead of
+    printing misleading zeros, and a class with zero arrivals dashes
+    its wait columns too — the table never divides by or ranks an
+    empty sample.
+
+    With ``fleet_row=True`` the final row is treated as a fleet-wide
+    aggregate (see :func:`fleet_aggregate_row`) and is set off from the
+    per-class rows by a rule.
     """
     headers = [header for header, _ in SERVICE_COLUMNS]
     rows = []
     for row in class_rows:
+        completed = row.get("n_completed") or 0
+        arrived = row.get("n_arrived") or 0
         cells: List[object] = []
         for header, key in SERVICE_COLUMNS:
             value = row.get(key)
-            if value is None:
+            if key in _COMPLETION_COLUMNS and completed == 0:
+                cells.append("-")
+            elif key in _ARRIVAL_COLUMNS and arrived == 0:
+                cells.append("-")
+            elif value is None:
                 cells.append("-")
             elif key == "slo_attainment" and isinstance(value, float):
                 cells.append(f"{100.0 * value:.1f}")
             else:
                 cells.append(value)
         rows.append(cells)
-    return format_table(headers, rows)
+    table = format_table(headers, rows)
+    if fleet_row and len(rows) >= 1:
+        lines = table.split("\n")
+        # Repeat the header rule above the aggregate row.
+        lines.insert(len(lines) - 1, lines[1])
+        table = "\n".join(lines)
+    return table
+
+
+def fleet_aggregate_row(
+    class_rows: Sequence[Mapping[str, object]],
+    label: str = "FLEET",
+) -> dict:
+    """Reduce per-replica class rows into one aggregate row.
+
+    Counts sum; throughput sums (replicas complete work concurrently);
+    wait/latency percentiles combine as completion-weighted means of
+    the per-row percentiles — an approximation (the true fleet
+    percentile needs the raw samples), but a stable, monotone one that
+    is exact whenever the replicas are statistically interchangeable.
+    SLO attainment combines completion-weighted over the rows that
+    carry one, staying ``None`` when none do.
+    """
+    total_arrived = sum(int(row.get("n_arrived") or 0) for row in class_rows)
+    total_completed = sum(int(row.get("n_completed") or 0) for row in class_rows)
+    total_abandoned = sum(int(row.get("n_abandoned") or 0) for row in class_rows)
+
+    def weighted(key: str, count_key: str) -> float:
+        pairs = [
+            (float(row.get(key) or 0.0), int(row.get(count_key) or 0))
+            for row in class_rows
+        ]
+        total = sum(count for _, count in pairs)
+        if total == 0:
+            return 0.0
+        return sum(value * count for value, count in pairs) / total
+
+    slo_pairs = [
+        (float(row["slo_attainment"]), int(row.get("n_completed") or 0))
+        for row in class_rows
+        if row.get("slo_attainment") is not None
+    ]
+    slo_weight = sum(count for _, count in slo_pairs)
+    return {
+        "class": label,
+        "n_arrived": total_arrived,
+        "n_completed": total_completed,
+        "n_abandoned": total_abandoned,
+        "wait_p50": weighted("wait_p50", "n_arrived"),
+        "wait_p99": weighted("wait_p99", "n_arrived"),
+        "latency_p50": weighted("latency_p50", "n_completed"),
+        "latency_p95": weighted("latency_p95", "n_completed"),
+        "latency_p99": weighted("latency_p99", "n_completed"),
+        "throughput": sum(
+            float(row.get("throughput") or 0.0) for row in class_rows
+        ),
+        "slo_attainment": (
+            sum(value * count for value, count in slo_pairs) / slo_weight
+            if slo_weight
+            else None
+        ),
+    }
 
 
 #: Column order for :func:`format_policy_table`; keys into each row.

@@ -40,7 +40,7 @@ from repro.trace.events import (
     ServiceCompleted,
 )
 from repro.trace.tracer import get_tracer
-from repro.workloads.arrivals import _query_mix, make_arrivals
+from repro.workloads.arrivals import ArrivalPlan, _query_mix, make_arrivals
 from repro.workloads.tpch_queries import QUERY_FACTORIES
 
 
@@ -51,12 +51,26 @@ def _class_seed(base_seed: int, class_name: str) -> int:
 
 
 class QueryService:
-    """One admission-controlled service run over a database."""
+    """One admission-controlled service run over a database.
 
-    def __init__(self, db: Database, spec: ServiceSpec, scenario: str = ""):
+    ``arrival_plans`` optionally maps open class names to explicit
+    pre-built :class:`~repro.workloads.arrivals.ArrivalPlan` objects;
+    classes listed there skip ``make_arrivals`` and replay the given
+    plan verbatim.  The cluster layer uses this to hand each replica
+    its routed share of a fleet-wide load plan.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        spec: ServiceSpec,
+        scenario: str = "",
+        arrival_plans: Optional[Dict[str, "ArrivalPlan"]] = None,
+    ):
         self.db = db
         self.spec = spec
         self.scenario = scenario
+        self.arrival_plans = dict(arrival_plans or {})
         self.controller = AdmissionController(db, spec.controller)
         self.controller.on_increase = self._try_admit
         self._queues: Dict[str, AdmissionQueue] = {
@@ -86,20 +100,23 @@ class QueryService:
         for cls in self.spec.classes:
             seed = _class_seed(base_seed, cls.name)
             if cls.is_open:
-                plan = make_arrivals(
-                    cls.arrival,
-                    cls.rate,
-                    self.spec.horizon,
-                    seed=seed,
-                    query_names=cls.query_names,
-                    query_weights=cls.query_weight_map(),
-                    max_arrivals=self.spec.max_arrivals_per_class,
-                    sigma=cls.sigma,
-                    alpha=cls.alpha,
-                    rate_off=cls.rate_off,
-                    mean_on_seconds=cls.mean_on,
-                    mean_off_seconds=cls.mean_off,
-                )
+                if cls.name in self.arrival_plans:
+                    plan = self.arrival_plans[cls.name]
+                else:
+                    plan = make_arrivals(
+                        cls.arrival,
+                        cls.rate,
+                        self.spec.horizon,
+                        seed=seed,
+                        query_names=cls.query_names,
+                        query_weights=cls.query_weight_map(),
+                        max_arrivals=self.spec.max_arrivals_per_class,
+                        sigma=cls.sigma,
+                        alpha=cls.alpha,
+                        rate_off=cls.rate_off,
+                        mean_on_seconds=cls.mean_on,
+                        mean_off_seconds=cls.mean_off,
+                    )
                 self._producers += 1
                 self.db.sim.spawn(
                     self._open_producer(cls, plan), name=f"arrivals-{cls.name}"

@@ -20,12 +20,32 @@ from repro.workloads.tpch_queries import (
     q6,
 )
 from repro.workloads.arrivals import ArrivalPlan, poisson_arrivals
+from repro.workloads.loadgen import (
+    ExplicitScan,
+    LoadPlan,
+    LoadSpec,
+    NoScan,
+    RangeScan,
+    Scannable,
+    UserArrival,
+    UserClass,
+    generate_load,
+)
 from repro.workloads.streams import tpch_stream, tpch_streams
 from repro.workloads.synthetic import uniform_scan_query
 
 __all__ = [
     "ArrivalPlan",
+    "ExplicitScan",
+    "LoadPlan",
+    "LoadSpec",
+    "NoScan",
     "QUERY_FACTORIES",
+    "RangeScan",
+    "Scannable",
+    "UserArrival",
+    "UserClass",
+    "generate_load",
     "poisson_arrivals",
     "TPCH_BASE_PAGES",
     "make_query",

@@ -295,3 +295,56 @@ class TestServeSimCommand:
         payload = json.loads(out_file.read_text())
         labels = {entry["label"] for entry in payload["experiments"]}
         assert labels == {"sv-steady", "sv-burst"}
+
+
+class TestClusterSimCommand:
+    def test_parses_defaults(self):
+        args = build_parser().parse_args(["cluster-sim"])
+        assert args.command == "cluster-sim"
+        assert args.scenario == "steady"
+        assert not args.quick
+        assert args.replicas is None and args.users is None
+        assert args.horizon is None
+
+    def test_parses_options(self):
+        args = build_parser().parse_args(
+            ["cluster-sim", "scale", "--quick", "--replicas", "4",
+             "--users", "50000", "--horizon", "1.5", "--jobs", "2"]
+        )
+        assert args.scenario == "scale"
+        assert args.quick
+        assert args.replicas == 4 and args.users == 50000
+        assert args.horizon == 1.5 and args.jobs == 2
+
+    def test_list_prints_scenarios(self, capsys):
+        assert main(["cluster-sim", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "skew", "scale"):
+            assert name in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["cluster-sim", "mainframe"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_replicas_exits_2(self, capsys):
+        assert main(["cluster-sim", "steady", "--replicas", "0"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_bad_users_exits_2(self, capsys):
+        assert main(["cluster-sim", "steady", "--users", "0"]) == 2
+        assert "--users" in capsys.readouterr().err
+
+    def test_bad_horizon_exits_2(self, capsys):
+        assert main(["cluster-sim", "steady", "--horizon", "-1"]) == 2
+        assert "--horizon" in capsys.readouterr().err
+
+    def test_steady_quick_runs(self, capsys, tmp_path):
+        out_file = tmp_path / "cluster.json"
+        assert main(["cluster-sim", "steady", "--quick", "--no-cache",
+                     "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sv-cluster-steady" in out
+        assert "FLEET" in out
+        payload = json.loads(out_file.read_text())
+        labels = {entry["label"] for entry in payload["experiments"]}
+        assert labels == {"sv-cluster-steady"}

@@ -1,0 +1,79 @@
+"""Golden-result test for the pinned cluster steady scenario.
+
+``sv-cluster-steady`` at scale 0.1 / seed 42 — two replicas, rf=2,
+least-loaded routing over a generated two-class user load — is replayed
+on every test run and compared field-by-field against a reference
+checked into ``tests/golden/``.  Any change that moves a single load
+draw, routing decision, or replica engine counter fails here with the
+exact diverging field.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_cluster_golden.py --regen-golden
+
+then commit the updated golden file alongside the code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentSettings
+from repro.experiments.runner import (
+    ExperimentTask,
+    execute_task,
+    first_divergence,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+GOLDEN_FILE = GOLDEN_DIR / "cluster_steady.json"
+
+SCENARIO = ExperimentSettings(scale=0.1, seed=42)
+
+
+def _run_scenario() -> dict:
+    result = execute_task(ExperimentTask("sv-cluster-steady", SCENARIO))
+    return {
+        "scenario": {
+            "experiment": "sv-cluster-steady",
+            "scale": SCENARIO.scale,
+            "seed": SCENARIO.seed,
+        },
+        "digest": result.digest,
+        "metrics": result.metrics,
+    }
+
+
+def test_cluster_steady_matches_golden(regen_golden):
+    actual = _run_scenario()
+    if regen_golden or not GOLDEN_FILE.exists():
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        GOLDEN_FILE.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        assert GOLDEN_FILE.exists()
+        return
+    golden = json.loads(GOLDEN_FILE.read_text())
+    divergence = first_divergence(golden, actual)
+    assert divergence is None, (
+        f"sv-cluster-steady diverged from tests/golden/{GOLDEN_FILE.name} "
+        f"at {divergence}; if this change is intentional, regenerate with "
+        f"--regen-golden (or REPRO_REGEN_GOLDEN=1) and commit the new "
+        f"golden file"
+    )
+
+
+def test_cluster_golden_file_is_committed():
+    """The reference must exist in the tree, not be a regen artifact."""
+    assert GOLDEN_FILE.exists(), (
+        "tests/golden/cluster_steady.json is missing; run with "
+        "--regen-golden once and commit it"
+    )
+    golden = json.loads(GOLDEN_FILE.read_text())
+    assert golden["scenario"]["experiment"] == "sv-cluster-steady"
+    assert len(golden["digest"]) == 64  # full sha256 metrics digest
+    assert golden["metrics"]["drained"] is True
+    assert golden["metrics"]["n_completed"] > 0
+    assert set(golden["metrics"]["replicas"]) == {"0", "1"}
+    assert golden["metrics"]["spec"]["replication_factor"] == 2

@@ -61,6 +61,24 @@ class TestClauseParsing:
         with pytest.raises(FaultSpecError):
             parse_fault_spec("leader-abort:at=0.9")
 
+    def test_replica_pin_parsed_on_every_kind(self):
+        for kind in ("scan-kill", "disk-delay", "disk-error",
+                     "pool-pressure"):
+            (fault,) = parse_fault_spec(f"{kind}:replica=1")
+            assert fault.replica == 1
+            assert isinstance(fault.replica, int)
+
+    def test_replica_defaults_to_unpinned(self):
+        (fault,) = parse_fault_spec("scan-kill")
+        assert fault.replica == -1
+        assert fault.matches_replica(0) and fault.matches_replica(7)
+
+    def test_pinned_fault_matches_only_its_replica(self):
+        (fault,) = parse_fault_spec("disk-delay:factor=2.0,replica=2")
+        assert fault.matches_replica(2)
+        assert not fault.matches_replica(0)
+        assert not fault.matches_replica(3)
+
 
 class TestValidation:
     @pytest.mark.parametrize("spec", [
@@ -82,6 +100,9 @@ class TestValidation:
         "disk-error:backoff=-0.001",
         "pool-pressure:fraction=0.0",
         "pool-pressure:fraction=1.0",
+        "scan-kill:replica=-2",
+        "disk-delay:replica=-5",
+        "disk-error:replica=one",
     ])
     def test_bad_specs_raise(self, spec):
         with pytest.raises(FaultSpecError):
@@ -118,3 +139,36 @@ class TestFaultPlan:
         text = plan.describe()
         assert "scan-kill" in text and "disk-delay" in text
         assert "target=leader" in text
+
+
+class TestForReplica:
+    SPEC = ("scan-kill:replica=0; disk-delay:factor=2.0,replica=1; "
+            "pool-pressure")
+
+    def test_keeps_pinned_and_unpinned_clauses(self):
+        plan = FaultPlan.from_spec(self.SPEC, seed=5)
+        sub = plan.for_replica(0)
+        assert [type(f) for f in sub.faults] == [
+            ScanKillFault, PoolPressureFault,
+        ]
+
+    def test_drops_clauses_pinned_elsewhere(self):
+        plan = FaultPlan.from_spec(self.SPEC, seed=5)
+        sub = plan.for_replica(1)
+        assert [type(f) for f in sub.faults] == [
+            DiskDelayFault, PoolPressureFault,
+        ]
+
+    def test_preserves_spec_and_seed(self):
+        plan = FaultPlan.from_spec(self.SPEC, seed=5)
+        sub = plan.for_replica(2)
+        assert sub.spec == plan.spec
+        assert sub.seed == plan.seed
+
+    def test_can_filter_to_empty(self):
+        plan = FaultPlan.from_spec("scan-kill:replica=0", seed=1)
+        assert plan.for_replica(3).faults == ()
+
+    def test_unpinned_plan_passes_through_whole(self):
+        plan = FaultPlan.from_spec("disk-degrade", seed=7)
+        assert plan.for_replica(4).faults == plan.faults

@@ -5,6 +5,7 @@ import pytest
 from repro.metrics.collector import MetricsCollector, QueryRecord
 from repro.metrics.cpu import compute_cpu_breakdown
 from repro.metrics.report import (
+    fleet_aggregate_row,
     format_series,
     format_service_table,
     format_table,
@@ -231,3 +232,76 @@ class TestFormatServiceTable:
         metrics = ClassMetrics(name="batch", n_arrived=3, n_completed=3)
         text = format_service_table([metrics.as_dict()])
         assert "batch" in text
+
+    def test_zero_completions_dash_latency_columns(self):
+        """A starved class must not print zero latency/qps/SLO as if it
+        had measured them."""
+        row = dict(self.ROW, n_completed=0, n_abandoned=10,
+                   latency_p50=0.0, latency_p95=0.0, latency_p99=0.0,
+                   throughput=0.0, slo_attainment=0.0)
+        body = format_service_table([row]).splitlines()[2]
+        cells = body.split()
+        # class arrived done abandoned wait50 wait99 then 5 dashes
+        assert cells[2] == "0"
+        assert cells[6:] == ["-", "-", "-", "-", "-"]
+        # Wait columns still render: the class did arrive and queue.
+        assert cells[4] != "-" and cells[5] != "-"
+
+    def test_zero_arrivals_dash_wait_columns_too(self):
+        row = dict(self.ROW, n_arrived=0, n_completed=0, n_abandoned=0,
+                   wait_p50=0.0, wait_p99=0.0)
+        body = format_service_table([row]).splitlines()[2]
+        assert body.split()[4:] == ["-"] * 7
+
+    def test_fleet_row_is_set_off_by_a_rule(self):
+        fleet = dict(self.ROW, **{"class": "FLEET"})
+        lines = format_service_table(
+            [self.ROW, self.ROW, fleet], fleet_row=True
+        ).splitlines()
+        assert lines[-2] == lines[1]  # repeated header rule
+        assert lines[-1].startswith("FLEET")
+
+
+class TestFleetAggregateRow:
+    ROWS = [
+        {"class": "c", "n_arrived": 10, "n_completed": 8, "n_abandoned": 2,
+         "wait_p50": 0.1, "wait_p99": 0.3, "latency_p50": 1.0,
+         "latency_p95": 2.0, "latency_p99": 3.0, "throughput": 4.0,
+         "slo_attainment": 1.0},
+        {"class": "c", "n_arrived": 30, "n_completed": 24, "n_abandoned": 6,
+         "wait_p50": 0.3, "wait_p99": 0.5, "latency_p50": 2.0,
+         "latency_p95": 3.0, "latency_p99": 4.0, "throughput": 6.0,
+         "slo_attainment": 0.5},
+    ]
+
+    def test_counts_sum_and_throughput_sums(self):
+        row = fleet_aggregate_row(self.ROWS)
+        assert row["class"] == "FLEET"
+        assert row["n_arrived"] == 40
+        assert row["n_completed"] == 32
+        assert row["n_abandoned"] == 8
+        assert row["throughput"] == pytest.approx(10.0)
+
+    def test_percentiles_completion_weighted(self):
+        row = fleet_aggregate_row(self.ROWS)
+        # latency weighted by completions: (1*8 + 2*24) / 32
+        assert row["latency_p50"] == pytest.approx(1.75)
+        # waits weighted by arrivals: (0.1*10 + 0.3*30) / 40
+        assert row["wait_p50"] == pytest.approx(0.25)
+
+    def test_slo_completion_weighted(self):
+        row = fleet_aggregate_row(self.ROWS)
+        assert row["slo_attainment"] == pytest.approx((1.0 * 8 + 0.5 * 24) / 32)
+
+    def test_slo_none_when_no_row_carries_one(self):
+        rows = [dict(r, slo_attainment=None) for r in self.ROWS]
+        assert fleet_aggregate_row(rows)["slo_attainment"] is None
+
+    def test_custom_label_and_empty_sample_safety(self):
+        row = fleet_aggregate_row(
+            [{"class": "c", "n_arrived": 0, "n_completed": 0}],
+            label="TOTAL",
+        )
+        assert row["class"] == "TOTAL"
+        assert row["latency_p50"] == 0.0
+        assert row["slo_attainment"] is None

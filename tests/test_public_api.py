@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.experiments",
     "repro.service",
+    "repro.cluster",
     "repro.extensions.index_sharing",
     "repro.extensions.attach_sharing",
     "repro.cli",
